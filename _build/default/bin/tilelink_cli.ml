@@ -1,0 +1,474 @@
+(* tilelink — explore the TileLink reproduction from the command line.
+
+     tilelink info
+     tilelink simulate --kernel ag-gemm --m 8192 --k 4096 --n 2752 \
+       --binding dma --comm-tile 512 --trace
+     tilelink tune --kernel gemm-rs --m 8192 --k 1376 --n 4096
+     tilelink validate --kernel moe
+     tilelink attention --seq 32768 --heads 32 *)
+
+open Cmdliner
+open Tilelink_core
+open Tilelink_machine
+open Tilelink_workloads
+open Tilelink_baselines
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let world_arg =
+  Arg.(value & opt int 8 & info [ "world" ] ~docv:"N" ~doc:"Number of ranks.")
+
+let m_arg = Arg.(value & opt int 8192 & info [ "m" ] ~doc:"Row extent (M).")
+let k_arg = Arg.(value & opt int 4096 & info [ "k" ] ~doc:"Reduction dim (K).")
+let n_arg = Arg.(value & opt int 2752 & info [ "n" ] ~doc:"Column extent (N).")
+
+let binding_arg =
+  let parse = function
+    | "dma" -> Ok Design_space.Comm_on_dma
+    | "hybrid" -> Ok (Design_space.Comm_hybrid { dma_fraction = 0.5; sms = 12 })
+    | s -> (
+      match int_of_string_opt s with
+      | Some sms -> Ok (Design_space.Comm_on_sm sms)
+      | None -> Error (`Msg "binding must be dma, hybrid, or an SM count"))
+  in
+  let print ppf b =
+    Fmt.string ppf (Design_space.resource_binding_to_string b)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Design_space.Comm_on_dma
+    & info [ "binding" ] ~docv:"dma|hybrid|SMS"
+        ~doc:"Communication resource binding.")
+
+let comm_tile_arg =
+  Arg.(value & opt int 512 & info [ "comm-tile" ] ~doc:"Comm tile rows.")
+
+let compute_tile_arg =
+  Arg.(value & opt int 128 & info [ "compute-tile" ] ~doc:"Compute tile rows.")
+
+let stages_arg =
+  Arg.(value & opt int 2 & info [ "stages" ] ~doc:"Software pipeline stages.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print an ASCII timeline of rank 0.")
+
+let trace_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:"Write the full timeline in Chrome tracing format to $(docv).")
+
+let write_trace_json cluster = function
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc
+      (Tilelink_sim.Trace.to_chrome_json (Cluster.trace cluster));
+    close_out oc;
+    Printf.printf "wrote Chrome trace to %s (open in chrome://tracing)\n" path
+
+let kernel_arg =
+  Arg.(
+    value
+    & opt (enum [ ("ag-gemm", `Ag_gemm); ("gemm-rs", `Gemm_rs); ("moe", `Moe) ])
+        `Ag_gemm
+    & info [ "kernel" ] ~docv:"ag-gemm|gemm-rs|moe" ~doc:"Kernel to operate on.")
+
+let spec = Calib.h800
+
+let config ~world ~binding ~comm_tile ~compute_tile ~stages ~ring =
+  {
+    Design_space.comm_tile = (comm_tile, 128);
+    compute_tile = (compute_tile, compute_tile);
+    comm_order =
+      (if ring then Tile.Ring_from_self { segments = world }
+       else Tile.Row_major);
+    compute_order =
+      (if ring then Tile.Ring_from_self { segments = world }
+       else Tile.Row_major);
+    binding;
+    stages;
+  }
+
+let print_rank0_timeline cluster =
+  let trace = Cluster.trace cluster in
+  let rank0 = Tilelink_sim.Trace.create () in
+  List.iter
+    (fun s ->
+      if s.Tilelink_sim.Trace.rank = 0 then
+        Tilelink_sim.Trace.add rank0 ~rank:0 ~lane:s.Tilelink_sim.Trace.lane
+          ~label:s.Tilelink_sim.Trace.label ~t0:s.Tilelink_sim.Trace.t0
+          ~t1:s.Tilelink_sim.Trace.t1)
+    (Tilelink_sim.Trace.spans trace);
+  print_endline (Tilelink_sim.Trace.render rank0)
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let info_cmd =
+  let run () =
+    Format.printf "machine: %a@." Spec.pp spec;
+    Printf.printf "overheads: launch %.1f us, host sync %.1f us, collective \
+                   setup %.1f us\n"
+      spec.Spec.overheads.kernel_launch spec.Spec.overheads.host_sync
+      spec.Spec.overheads.collective_setup;
+    Printf.printf "signals: notify %.2f us, wait %.2f us; fusion \
+                   interference x%.2f\n"
+      spec.Spec.overheads.signal_notify spec.Spec.overheads.signal_wait
+      spec.Spec.overheads.fusion_interference
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print the calibrated machine model.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate kernel world m k n binding comm_tile compute_tile stages trace
+    trace_json =
+  let cfg =
+    config ~world ~binding ~comm_tile ~compute_tile ~stages ~ring:true
+  in
+  let program =
+    match kernel with
+    | `Ag_gemm ->
+      Mlp.ag_gemm_program ~config:cfg { Mlp.m; k; n; world_size = world }
+        ~spec_gpu:spec
+    | `Gemm_rs ->
+      Mlp.gemm_rs_program
+        ~config:
+          {
+            cfg with
+            Design_space.comm_order = Tile.Row_major;
+            compute_order = Tile.Ring_prev_first { segments = world };
+            comm_tile = (128, 2048);
+          }
+        { Mlp.rs_m = m; rs_k = k; rs_n = n; rs_world = world }
+        ~spec_gpu:spec
+    | `Moe ->
+      let moe =
+        {
+          Moe.tokens = m;
+          hidden = k;
+          intermediate = n;
+          experts = 32;
+          topk = 2;
+          world_size = world;
+        }
+      in
+      Moe.part1_program moe (Moe.routing moe ~seed:17) ~spec_gpu:spec
+  in
+  Format.printf "%a@." Program.pp program;
+  (match Consistency.verify_program program with
+  | Ok () -> print_endline "memory consistency: ok"
+  | Error v ->
+    Format.printf "memory consistency VIOLATION: %a@."
+      Consistency.pp_violation v);
+  let cluster =
+    Cluster.create
+      ~trace_enabled:(trace || trace_json <> None)
+      spec ~world_size:world
+  in
+  let result = Runtime.run cluster program in
+  Printf.printf "simulated time: %.1f us (%d signal notifies)\n"
+    result.Runtime.makespan result.Runtime.notifies;
+  if trace then print_rank0_timeline cluster;
+  write_trace_json cluster trace_json
+
+let simulate_cmd =
+  Cmd.v (Cmd.info "simulate" ~doc:"Build and simulate one overlapped kernel.")
+    Term.(
+      const simulate $ kernel_arg $ world_arg $ m_arg $ k_arg $ n_arg
+      $ binding_arg $ comm_tile_arg $ compute_tile_arg $ stages_arg
+      $ trace_arg $ trace_json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* tune                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let tune kernel world m k n =
+  let tuned =
+    match kernel with
+    | `Ag_gemm | `Moe -> Tuned.ag_gemm spec ~world_size:world ~m ~k ~n
+    | `Gemm_rs -> Tuned.gemm_rs spec ~world_size:world ~m ~k ~n
+  in
+  Printf.printf "best of %d candidates: %.1f us\n  [%s]\n"
+    tuned.Tuned.candidates_tried tuned.Tuned.best_time
+    (Design_space.config_to_string tuned.Tuned.best_config)
+
+let tune_cmd =
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Search the decoupled design space for a shape.")
+    Term.(const tune $ kernel_arg $ world_arg $ m_arg $ k_arg $ n_arg)
+
+(* ------------------------------------------------------------------ *)
+(* validate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let validate kernel =
+  let world = 4 in
+  let machine = Calib.test_machine in
+  let check name ok = Printf.printf "%-28s %s\n" name (if ok then "ok" else "MISMATCH") in
+  (match kernel with
+  | `Ag_gemm ->
+    let shapes = { Mlp.m = 16; k = 4; n = 6; world_size = world } in
+    let cfg =
+      config ~world ~binding:(Design_space.Comm_on_sm 1) ~comm_tile:2
+        ~compute_tile:2 ~stages:2 ~ring:true
+    in
+    let memory = Mlp.ag_gemm_alloc shapes ~seed:1 in
+    let cluster = Cluster.create machine ~world_size:world in
+    ignore
+      (Runtime.run ~data:true ~memory cluster
+         (Mlp.ag_gemm_program ~config:cfg shapes ~spec_gpu:machine));
+    check "ag-gemm (4 ranks)"
+      (List.for_all
+         (fun rank ->
+           Tilelink_tensor.Check.close
+             (Mlp.ag_gemm_reference memory shapes ~rank)
+             (Memory.find memory ~rank ~name:"y"))
+         [ 0; 1; 2; 3 ])
+  | `Gemm_rs ->
+    let shapes = { Mlp.rs_m = 16; rs_k = 3; rs_n = 4; rs_world = world } in
+    let cfg =
+      {
+        Design_space.comm_tile = (2, 2);
+        compute_tile = (2, 2);
+        comm_order = Tile.Row_major;
+        compute_order = Tile.Row_major;
+        binding = Design_space.Comm_on_sm 1;
+        stages = 1;
+      }
+    in
+    let memory = Mlp.gemm_rs_alloc shapes ~seed:2 in
+    let cluster = Cluster.create machine ~world_size:world in
+    ignore
+      (Runtime.run ~data:true ~memory cluster
+         (Mlp.gemm_rs_program ~config:cfg shapes ~spec_gpu:machine));
+    check "gemm-rs (4 ranks)"
+      (List.for_all
+         (fun rank ->
+           Tilelink_tensor.Check.close
+             (Mlp.gemm_rs_reference memory shapes ~rank)
+             (Memory.find memory ~rank ~name:"out"))
+         [ 0; 1; 2; 3 ])
+  | `Moe ->
+    let moe =
+      {
+        Moe.tokens = 16;
+        hidden = 4;
+        intermediate = 8;
+        experts = 4;
+        topk = 2;
+        world_size = world;
+      }
+    in
+    let route = Moe.routing moe ~seed:3 in
+    let memory = Moe.part2_alloc moe ~seed:4 in
+    let cluster = Cluster.create machine ~world_size:world in
+    ignore
+      (Runtime.run ~data:true ~memory cluster
+         (Moe.part2_program moe route ~spec_gpu:machine
+            ~config:
+              {
+                Moe.gg_tile_rows = 2;
+                reduce_tile_rows = 2;
+                rs_tile_rows = 2;
+                reduce_sms = 1;
+                rs_sms = 1;
+              }));
+    check "moe part2 (4 ranks)"
+      (List.for_all
+         (fun rank ->
+           Tilelink_tensor.Check.close ~atol:1e-8
+             (Moe.part2_reference memory moe route ~rank)
+             (Memory.find memory ~rank ~name:"out"))
+         [ 0; 1; 2; 3 ]))
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Run a kernel with real data and compare to the reference.")
+    Term.(const validate $ kernel_arg)
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let report kernel world m k n =
+  let cfg =
+    config ~world ~binding:Design_space.Comm_on_dma ~comm_tile:512
+      ~compute_tile:128 ~stages:2 ~ring:true
+  in
+  let program =
+    match kernel with
+    | `Ag_gemm ->
+      Mlp.ag_gemm_program ~config:cfg { Mlp.m; k; n; world_size = world }
+        ~spec_gpu:spec
+    | `Gemm_rs ->
+      Mlp.gemm_rs_program
+        ~config:
+          {
+            cfg with
+            Design_space.comm_order = Tile.Row_major;
+            compute_order = Tile.Ring_prev_first { segments = world };
+            comm_tile = (128, 2048);
+            binding = Design_space.Comm_hybrid { dma_fraction = 0.5; sms = 12 };
+          }
+        { Mlp.rs_m = m; rs_k = k; rs_n = n; rs_world = world }
+        ~spec_gpu:spec
+    | `Moe ->
+      let moe =
+        { Moe.tokens = m; hidden = k; intermediate = n; experts = 32;
+          topk = 2; world_size = world }
+      in
+      Moe.part2_program moe (Moe.routing moe ~seed:17) ~spec_gpu:spec
+  in
+  let cluster = Cluster.create ~trace_enabled:true spec ~world_size:world in
+  let result = Runtime.run cluster program in
+  Printf.printf "makespan %.1f us; per-rank measured overlap:\n"
+    result.Runtime.makespan;
+  List.iter
+    (fun r -> Format.printf "  %a@." Report.pp r)
+    (Report.all_ranks (Cluster.trace cluster) ~world_size:world)
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Simulate a kernel and print the measured per-rank overlap.")
+    Term.(const report $ kernel_arg $ world_arg $ m_arg $ k_arg $ n_arg)
+
+(* ------------------------------------------------------------------ *)
+(* emit                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let emit kernel world m k n tasks target =
+  let cfg =
+    config ~world ~binding:(Design_space.Comm_on_dma) ~comm_tile:512
+      ~compute_tile:128 ~stages:2 ~ring:true
+  in
+  let program =
+    match kernel with
+    | `Ag_gemm ->
+      Mlp.ag_gemm_program ~config:cfg { Mlp.m; k; n; world_size = world }
+        ~spec_gpu:spec
+    | `Gemm_rs ->
+      Mlp.gemm_rs_program
+        ~config:
+          {
+            cfg with
+            Design_space.comm_order = Tile.Row_major;
+            compute_order = Tile.Ring_prev_first { segments = world };
+            comm_tile = (128, 2048);
+            binding = Design_space.Comm_on_sm 20;
+          }
+        { Mlp.rs_m = m; rs_k = k; rs_n = n; rs_world = world }
+        ~spec_gpu:spec
+    | `Moe ->
+      let moe =
+        { Moe.tokens = m; hidden = k; intermediate = n; experts = 32;
+          topk = 2; world_size = world }
+      in
+      Moe.part2_program moe (Moe.routing moe ~seed:17) ~spec_gpu:spec
+  in
+  (* Print the first [tasks] tasks of each role of rank 0: enough to
+     read the generated fence discipline without drowning in text. *)
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  List.iter
+    (fun role ->
+      let truncated =
+        { role with Program.tasks = take tasks role.Program.tasks }
+      in
+      print_string (Codegen.emit_role ~target truncated);
+      if List.length role.Program.tasks > tasks then
+        Printf.printf "// ... %d more tasks in this role\n"
+          (List.length role.Program.tasks - tasks))
+    (Program.plans program).(0);
+  let stats = Codegen.stats_of_listing (Codegen.emit_rank program ~rank:0) in
+  Printf.printf
+    "// whole rank 0: %d acquire spins, %d release stores, %d cp.async, %d \
+     put_nbi, %d get_nbi\n"
+    stats.Codegen.acquires stats.Codegen.releases stats.Codegen.async_loads
+    stats.Codegen.remote_puts stats.Codegen.remote_gets
+
+let emit_cmd =
+  let tasks_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "tasks" ] ~doc:"Tasks to print per role (rest summarized).")
+  in
+  let target_arg =
+    Arg.(
+      value
+      & opt (enum [ ("ptx", Codegen.Ptx); ("tir", Codegen.Tir) ]) Codegen.Ptx
+      & info [ "target" ] ~docv:"ptx|tir" ~doc:"Backend syntax to emit.")
+  in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:"Print the generated device code of one overlapped kernel.")
+    Term.(
+      const emit $ kernel_arg $ world_arg $ m_arg $ k_arg $ n_arg $ tasks_arg
+      $ target_arg)
+
+(* ------------------------------------------------------------------ *)
+(* attention                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let attention world seq heads head_dim trace =
+  let a =
+    { Attention.batch_heads = heads; seq; head_dim; world_size = world;
+      causal = false }
+  in
+  let cfg = { Attention.q_tile = 512; kv_tile = 2048 } in
+  let cluster = Cluster.create ~trace_enabled:trace spec ~world_size:world in
+  let tl =
+    (Runtime.run cluster (Attention.program ~config:cfg a ~spec_gpu:spec))
+      .Runtime.makespan
+  in
+  let torch = Attention_baselines.torch_time spec a in
+  let ring = Attention_baselines.ring_attention_time spec a in
+  Printf.printf
+    "seq %d, %d heads: torch %.2f ms | ring %.2f ms | tilelink %.2f ms\n" seq
+    heads (torch /. 1e3) (ring /. 1e3) (tl /. 1e3);
+  if trace then print_rank0_timeline cluster
+
+let attention_cmd =
+  let seq_arg =
+    Arg.(value & opt int 32768 & info [ "seq" ] ~doc:"Sequence length.")
+  in
+  let heads_arg =
+    Arg.(value & opt int 32 & info [ "heads" ] ~doc:"Attention heads.")
+  in
+  let head_dim_arg =
+    Arg.(value & opt int 128 & info [ "head-dim" ] ~doc:"Head dimension.")
+  in
+  Cmd.v
+    (Cmd.info "attention" ~doc:"Simulate sequence-parallel attention.")
+    Term.(
+      const attention $ world_arg $ seq_arg $ heads_arg $ head_dim_arg
+      $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "TileLink reproduction: overlapped kernels on a simulated GPU cluster" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "tilelink" ~doc)
+          [
+            info_cmd;
+            simulate_cmd;
+            tune_cmd;
+            validate_cmd;
+            attention_cmd;
+            emit_cmd;
+            report_cmd;
+          ]))

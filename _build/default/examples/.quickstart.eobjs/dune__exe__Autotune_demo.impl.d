@@ -1,0 +1,1 @@
+examples/autotune_demo.ml: Calib Cluster Design_space List Mlp Printf Runtime Tile Tilelink_core Tilelink_machine Tilelink_workloads Tune

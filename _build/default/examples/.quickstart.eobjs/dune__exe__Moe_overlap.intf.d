@@ -1,0 +1,1 @@
+examples/moe_overlap.mli:

@@ -1,0 +1,1 @@
+examples/parallelism_zoo.ml: Array Calib Check Cluster Design_space Ep_moe List Memory Pipeline_parallel Printf Runtime String Tilelink_core Tilelink_machine Tilelink_tensor Tilelink_workloads

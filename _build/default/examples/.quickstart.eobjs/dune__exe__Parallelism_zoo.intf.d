@@ -1,0 +1,1 @@
+examples/parallelism_zoo.mli:

@@ -1,0 +1,79 @@
+(* Quickstart: build an overlapped AllGather + GEMM kernel from
+   tile-centric primitives, check it computes the right answer on real
+   data, then time it at LLaMA-7B scale against the non-overlapping
+   baseline.
+
+     dune exec examples/quickstart.exe *)
+
+open Tilelink_core
+open Tilelink_machine
+open Tilelink_tensor
+open Tilelink_workloads
+open Tilelink_baselines
+
+let () =
+  print_endline "== TileLink quickstart ==";
+
+  (* 1. Describe the kernel: a TP AllGather + GEMM on 4 ranks.  The
+     communication and computation sides pick *independent* tile sizes,
+     orders and resources — the decoupled design space. *)
+  let config =
+    {
+      Design_space.comm_tile = (4, 4);          (* AllGather moves 4 rows/tile *)
+      compute_tile = (2, 3);                    (* GEMM consumes 2x3 tiles     *)
+      comm_order = Tile.Ring_from_self { segments = 4 };
+      compute_order = Tile.Ring_from_self { segments = 4 };
+      binding = Design_space.Comm_on_dma;       (* gather on the copy engine   *)
+      stages = 2;                               (* software pipeline depth     *)
+    }
+  in
+  let shapes = { Mlp.m = 16; k = 4; n = 6; world_size = 4 } in
+
+  (* 2. Correctness: run the generated program with real tensors on a
+     small machine and compare against a plain GEMM of the gathered
+     input. *)
+  let memory = Mlp.ag_gemm_alloc shapes ~seed:42 in
+  let program =
+    Mlp.ag_gemm_program ~config shapes ~spec_gpu:Calib.test_machine
+  in
+  (match Consistency.verify_program program with
+  | Ok () -> print_endline "memory-consistency check: ok"
+  | Error v ->
+    Format.printf "memory-consistency violation: %a@." Consistency.pp_violation v;
+    exit 1);
+  let cluster = Cluster.create Calib.test_machine ~world_size:4 in
+  let result = Runtime.run ~data:true ~memory cluster program in
+  let ok = ref true in
+  for rank = 0 to 3 do
+    let reference = Mlp.ag_gemm_reference memory shapes ~rank in
+    let actual = Memory.find memory ~rank ~name:"y" in
+    if not (Check.close reference actual) then ok := false
+  done;
+  Printf.printf "numerical check on 4 ranks: %s (simulated %.1f us, %d signals)\n"
+    (if !ok then "ok" else "MISMATCH")
+    result.Runtime.makespan result.Runtime.notifies;
+
+  (* 3. Performance: the same builder at LLaMA-7B MLP scale on the
+     calibrated 8xH800 model, vs cuBLAS+NCCL without overlap. *)
+  let spec = Calib.h800 in
+  let big = { Mlp.m = 8192; k = 4096; n = 2 * 11008 / 8; world_size = 8 } in
+  let big_config =
+    {
+      config with
+      Design_space.comm_tile = (512, 128);
+      compute_tile = (128, 128);
+      comm_order = Tile.Ring_from_self { segments = 8 };
+      compute_order = Tile.Ring_from_self { segments = 8 };
+    }
+  in
+  let program = Mlp.ag_gemm_program ~config:big_config big ~spec_gpu:spec in
+  let cluster = Cluster.create spec ~world_size:8 in
+  let overlapped = (Runtime.run cluster program).Runtime.makespan in
+  let baseline =
+    Nonoverlap.ag_gemm_time spec ~world_size:8 ~m:big.Mlp.m ~k:big.Mlp.k
+      ~n:big.Mlp.n
+  in
+  Printf.printf
+    "LLaMA-7B AG+GEMM on 8xH800-sim: non-overlap %.3f ms, overlapped %.3f \
+     ms, speedup %.2fx\n"
+    (baseline /. 1e3) (overlapped /. 1e3) (baseline /. overlapped)

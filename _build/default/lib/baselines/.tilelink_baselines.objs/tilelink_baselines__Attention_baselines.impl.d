@@ -1,0 +1,1 @@
+lib/baselines/attention_baselines.ml: Cost Float Spec Tilelink_comm Tilelink_machine Tilelink_workloads

@@ -1,0 +1,1 @@
+lib/baselines/decompose.ml: Cost Float List Nonoverlap Spec Tilelink_machine Tilelink_workloads

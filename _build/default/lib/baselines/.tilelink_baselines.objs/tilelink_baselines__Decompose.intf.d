@@ -1,0 +1,1 @@
+lib/baselines/decompose.mli: Spec Tilelink_machine Tilelink_workloads

@@ -1,0 +1,1 @@
+lib/baselines/flux.ml: Cluster Design_space Nonoverlap Runtime Spec Tile Tilelink_core Tilelink_machine Tilelink_workloads

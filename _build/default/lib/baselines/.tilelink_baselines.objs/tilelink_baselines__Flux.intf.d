@@ -1,0 +1,1 @@
+lib/baselines/flux.mli: Design_space Spec Tilelink_core Tilelink_machine Tilelink_workloads

@@ -1,0 +1,1 @@
+lib/baselines/moe_baselines.ml: Array Cost Routing Spec Tilelink_comm Tilelink_machine Tilelink_tensor Tilelink_workloads

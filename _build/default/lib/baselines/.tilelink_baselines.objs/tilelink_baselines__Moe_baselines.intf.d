@@ -1,0 +1,1 @@
+lib/baselines/moe_baselines.mli: Routing Spec Tilelink_machine Tilelink_tensor Tilelink_workloads

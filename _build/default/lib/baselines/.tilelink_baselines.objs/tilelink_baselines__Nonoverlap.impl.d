@@ -1,0 +1,1 @@
+lib/baselines/nonoverlap.ml: Cost Spec Tilelink_comm Tilelink_machine Tilelink_workloads

@@ -1,0 +1,1 @@
+lib/baselines/nonoverlap.mli: Spec Tilelink_machine Tilelink_workloads

@@ -1,0 +1,1 @@
+lib/baselines/torch_model.mli: Spec Tilelink_machine Tilelink_workloads

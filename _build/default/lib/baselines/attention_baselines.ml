@@ -1,0 +1,76 @@
+(* Attention baselines for Figure 10.
+
+   - [torch_time]: non-overlapping PyTorch — NCCL AllGather of KV
+     followed by eager (unfused) attention that materializes the score
+     matrix in HBM; memory-bound at long context.
+   - [ring_attention_time]: RingAttention — blockwise attention on the
+     local KV chunk while the next chunk is exchanged P2P.  Each of the
+     R steps is host-coordinated (launch + sync), and the blockwise
+     kernels on 1/R-sized chunks run below peak flash efficiency. *)
+
+open Tilelink_machine
+module Collective = Tilelink_comm.Collective
+module Attention = Tilelink_workloads.Attention
+
+let kv_allgather_time (spec : Spec.t) (a : Attention.spec) =
+  let spr = a.Attention.seq / a.Attention.world_size in
+  let bytes =
+    2.0 (* K and V *)
+    *. float_of_int (a.Attention.batch_heads * spr)
+    *. float_of_int a.Attention.head_dim *. Cost.dtype_bytes
+  in
+  Collective.standalone_time spec ~world_size:a.Attention.world_size
+    ~kind:Collective.Allgather ~algo:Collective.Ring ~bytes_per_shard:bytes
+
+let torch_time (spec : Spec.t) (a : Attention.spec) =
+  let spr = a.Attention.seq / a.Attention.world_size in
+  kv_allgather_time spec a
+  +. Cost.unfused_attention_time spec ~batch_heads:a.Attention.batch_heads
+       ~sq:spr ~skv:a.Attention.seq ~d:a.Attention.head_dim
+  +. spec.Spec.overheads.host_sync
+
+(* RingAttention blockwise efficiency relative to a fused single-kernel
+   flash implementation. *)
+let ring_block_efficiency = 0.6
+
+let ring_attention_time (spec : Spec.t) (a : Attention.spec) =
+  let r = a.Attention.world_size in
+  let spr = a.Attention.seq / r in
+  let z = float_of_int a.Attention.batch_heads in
+  let d = float_of_int a.Attention.head_dim in
+  (* Per-step blockwise attention: local queries against one KV chunk. *)
+  let step_flops = 4.0 *. z *. float_of_int spr *. float_of_int spr *. d in
+  let rate =
+    float_of_int spec.Spec.gpu.num_sms
+    *. spec.Spec.gpu.flops_per_sm *. 0.85 *. ring_block_efficiency
+  in
+  let step_compute = step_flops /. rate in
+  (* Per-step P2P exchange of the KV chunk to the ring neighbor. *)
+  let step_bytes = 2.0 *. z *. float_of_int spr *. d *. Cost.dtype_bytes in
+  let step_comm =
+    (step_bytes /. (spec.Spec.interconnect.nvlink_gbps *. 1.0e3))
+    +. spec.Spec.interconnect.nvlink_latency
+  in
+  (* Each step is a separate host-coordinated kernel: overlap inside a
+     step, synchronization between steps. *)
+  let per_step =
+    Float.max step_compute step_comm
+    +. spec.Spec.overheads.kernel_launch
+    +. spec.Spec.overheads.host_sync
+  in
+  (float_of_int r *. per_step) +. spec.Spec.overheads.collective_setup
+
+type overlap_report = {
+  comp_only : float;
+  comm_only : float;
+  overlapped : float;
+  ratio : float;  (* (comp + comm - overlapped) / comm *)
+}
+
+let overlap_report ~comp_only ~comm_only ~overlapped =
+  {
+    comp_only;
+    comm_only;
+    overlapped;
+    ratio = (comp_only +. comm_only -. overlapped) /. comm_only;
+  }

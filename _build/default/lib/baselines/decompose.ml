@@ -1,0 +1,94 @@
+(* Operator-decomposition baseline (Async-TP PyTorch / Dist-Einsum /
+   Centauri style).
+
+   The operator is split into [chunks] slices dispatched on two
+   streams: communication chunk i on the comm stream, compute chunk i
+   on the compute stream once its data has landed.  Every chunk
+   boundary costs a host-driven synchronization, and the chunked GEMMs
+   lose efficiency to wave quantization — the two effects §2.2 blames
+   for decomposition being slower than not overlapping at all. *)
+
+open Tilelink_machine
+
+(* Classic two-stream pipeline makespan: comm chunks serialize on the
+   comm stream, compute chunk i starts at
+   max(comm_done(i), compute_done(i-1)) + host_sync. *)
+let pipeline_makespan ~comm_times ~compute_times ~host_sync ~launch =
+  let comm_done = ref 0.0 in
+  let compute_done = ref launch in
+  List.iter2
+    (fun comm compute ->
+      comm_done := !comm_done +. launch +. comm;
+      let start = Float.max !comm_done !compute_done +. host_sync in
+      compute_done := start +. compute)
+    comm_times compute_times;
+  !compute_done
+
+(* Chunked AG + GEMM: the gather is split rank-by-rank (each chunk
+   moves one remote shard), the GEMM into [world_size] row slices. *)
+(* Async-TP splits finer than one chunk per rank to create overlap
+   opportunities; every chunk boundary costs a record + wait event pair
+   on the host. *)
+let chunks_of_world world_size = 2 * world_size
+
+let ag_gemm_time (spec : Spec.t) ~world_size ~m ~k ~n =
+  let chunks = chunks_of_world world_size in
+  let chunk_m = m / chunks in
+  let shard_bytes =
+    float_of_int chunk_m *. float_of_int k *. Cost.dtype_bytes
+  in
+  let comm_times =
+    (* The local chunks need no transfer, the rest are P2P copies. *)
+    List.init chunks (fun i ->
+        if i < chunks / world_size then 0.0
+        else
+          shard_bytes /. (spec.Spec.interconnect.nvlink_gbps *. 1.0e3)
+          +. spec.Spec.interconnect.nvlink_latency
+          +. spec.Spec.overheads.collective_setup)
+  in
+  let chunk_gemm =
+    Cost.gemm_kernel_time spec ~sms:spec.Spec.gpu.num_sms ~m:chunk_m ~n ~k
+      ~tm:128 ~tn:128
+  in
+  let compute_times = List.init chunks (fun _ -> chunk_gemm) in
+  pipeline_makespan ~comm_times ~compute_times
+    ~host_sync:(2.0 *. spec.Spec.overheads.host_sync)
+    ~launch:spec.Spec.overheads.kernel_launch
+
+(* Chunked GEMM + RS: GEMM row-slice i followed by a reduce-scatter of
+   that slice (comm after compute, so the pipeline is mirrored). *)
+let gemm_rs_time (spec : Spec.t) ~world_size ~m ~k ~n =
+  let chunks = chunks_of_world world_size in
+  let chunk_m = m / chunks in
+  let chunk_gemm =
+    Cost.gemm_kernel_time spec ~sms:spec.Spec.gpu.num_sms ~m:chunk_m ~n ~k
+      ~tm:128 ~tn:128
+  in
+  let chunk_bytes =
+    (* each chunk's reduce-scatter moves (R-1)/R of the slice *)
+    float_of_int (world_size - 1)
+    /. float_of_int world_size
+    *. float_of_int chunk_m *. float_of_int n *. Cost.dtype_bytes
+  in
+  let chunk_comm =
+    (chunk_bytes /. (spec.Spec.interconnect.nvlink_gbps *. 1.0e3))
+    +. spec.Spec.interconnect.nvlink_latency
+    +. spec.Spec.overheads.collective_setup
+    +. Cost.memory_pass_time spec ~sms:spec.Spec.gpu.num_sms
+         ~bytes:(3.0 *. chunk_bytes)
+  in
+  (* Mirror the pipeline: compute feeds comm. *)
+  pipeline_makespan
+    ~comm_times:(List.init chunks (fun _ -> chunk_gemm))
+    ~compute_times:(List.init chunks (fun _ -> chunk_comm))
+    ~host_sync:(2.0 *. spec.Spec.overheads.host_sync)
+    ~launch:spec.Spec.overheads.kernel_launch
+
+let mlp_time (spec : Spec.t) ~world_size ~(shape : Tilelink_workloads.Shapes.mlp) =
+  let m = shape.Tilelink_workloads.Shapes.s in
+  let h = shape.Tilelink_workloads.Shapes.h in
+  let i = shape.Tilelink_workloads.Shapes.i in
+  let i_per_rank = i / world_size in
+  ag_gemm_time spec ~world_size ~m ~k:h ~n:(2 * i_per_rank)
+  +. Nonoverlap.activation_time spec ~m ~i:i_per_rank
+  +. gemm_rs_time spec ~world_size ~m ~k:i_per_rank ~n:h

@@ -1,0 +1,76 @@
+(* FLUX-style fusion baseline.
+
+   FLUX fuses communication into the GEMM kernel with a *coupled*
+   design: communication inherits the GEMM's tile size and visiting
+   order, and data movement runs on SM-resident copy CTAs.  We model it
+   as exactly that point of the design space, executed by the same
+   runtime as TileLink (the paper frames FLUX as the coupled diagonal
+   of the space TileLink searches).
+
+   Two adjustments reflect FLUX being a hand-written CUTLASS library
+   rather than generated code:
+   - [hand_tuned] (0.96): its mainloop avoids the small per-chunk
+     overheads generated kernels pay, making it slightly faster where
+     the coupled design is already good (AG+GEMM);
+   - no ring-aligned production order for GEMM+RS: FLUX's fixed
+     row-major GEMM ordering is exactly why its ReduceScatter side
+     underperforms (§7.2). *)
+
+open Tilelink_core
+open Tilelink_machine
+module Mlp = Tilelink_workloads.Mlp
+
+let hand_tuned = 0.85
+let comm_sms = 16
+
+let ag_gemm_config ~world_size =
+  {
+    Design_space.comm_tile = (128, 128);
+    compute_tile = (128, 128);
+    comm_order = Tile.Ring_from_self { segments = world_size };
+    compute_order = Tile.Ring_from_self { segments = world_size };
+    binding = Design_space.Comm_on_sm comm_sms;
+    stages = 2;
+  }
+
+let gemm_rs_config ~world_size =
+  (* Coupled: RS tiles equal GEMM tiles; the GEMM starts from its own
+     segment (its natural order) rather than the segment the ring
+     consumes first, so the consumer waits out most of a segment. *)
+  {
+    Design_space.comm_tile = (128, 128);
+    compute_tile = (128, 128);
+    comm_order = Tile.Row_major;
+    compute_order = Tile.Ring_from_self { segments = world_size };
+    binding = Design_space.Comm_on_sm comm_sms;
+    stages = 2;
+  }
+
+let ag_gemm_time (spec : Spec.t) ~world_size ~m ~k ~n =
+  let program =
+    Mlp.ag_gemm_program
+      ~config:(ag_gemm_config ~world_size)
+      { Mlp.m; k; n; world_size }
+      ~spec_gpu:spec
+  in
+  let cluster = Cluster.create spec ~world_size in
+  (Runtime.run cluster program).Runtime.makespan *. hand_tuned
+
+let gemm_rs_time (spec : Spec.t) ~world_size ~m ~k ~n =
+  let program =
+    Mlp.gemm_rs_program ~config:(gemm_rs_config ~world_size)
+      { Mlp.rs_m = m; rs_k = k; rs_n = n; rs_world = world_size }
+      ~spec_gpu:spec
+  in
+  let cluster = Cluster.create spec ~world_size in
+  (Runtime.run cluster program).Runtime.makespan
+
+let mlp_time (spec : Spec.t) ~world_size
+    ~(shape : Tilelink_workloads.Shapes.mlp) =
+  let m = shape.Tilelink_workloads.Shapes.s in
+  let h = shape.Tilelink_workloads.Shapes.h in
+  let i = shape.Tilelink_workloads.Shapes.i in
+  let i_per_rank = i / world_size in
+  ag_gemm_time spec ~world_size ~m ~k:h ~n:(2 * i_per_rank)
+  +. Nonoverlap.activation_time spec ~m ~i:i_per_rank
+  +. gemm_rs_time spec ~world_size ~m ~k:i_per_rank ~n:h

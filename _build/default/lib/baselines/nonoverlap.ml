@@ -1,0 +1,55 @@
+(* Non-overlapping baseline: cuBLAS + NCCL.
+
+   Communication and computation run as separate, serialized operators:
+   an operator-centric collective (lib/comm), a host sync, then the
+   compute kernel on the full chip, with launch overheads in between.
+   This is the denominator of every speedup in the paper. *)
+
+open Tilelink_machine
+module Collective = Tilelink_comm.Collective
+
+let gemm_time (spec : Spec.t) ~m ~n ~k =
+  spec.Spec.overheads.kernel_launch
+  +. Cost.gemm_kernel_time spec ~sms:spec.Spec.gpu.num_sms ~m ~n ~k ~tm:128
+       ~tn:128
+
+(* AllGather (over M) followed by GEMM: x[m/R, k] gathered, then
+   [m, k] x [k, n] on every rank. *)
+let ag_gemm_time (spec : Spec.t) ~world_size ~m ~k ~n =
+  let bytes_per_shard =
+    float_of_int (m / world_size) *. float_of_int k *. Cost.dtype_bytes
+  in
+  let ag =
+    Collective.standalone_time spec ~world_size ~kind:Collective.Allgather
+      ~algo:Collective.Ring ~bytes_per_shard
+  in
+  ag +. gemm_time spec ~m ~n ~k
+
+(* GEMM producing a partial [m, n] on every rank, then ReduceScatter. *)
+let gemm_rs_time (spec : Spec.t) ~world_size ~m ~k ~n =
+  let bytes_per_shard =
+    float_of_int (m / world_size) *. float_of_int n *. Cost.dtype_bytes
+  in
+  let rs =
+    Collective.standalone_time spec ~world_size ~kind:Collective.Reducescatter
+      ~algo:Collective.Ring ~bytes_per_shard
+  in
+  gemm_time spec ~m ~n ~k +. rs
+
+(* Element-wise gated activation between the two MLP halves:
+   read [m, 2i], write [m, i]. *)
+let activation_time (spec : Spec.t) ~m ~i =
+  spec.Spec.overheads.kernel_launch
+  +. Cost.memory_pass_time spec ~sms:spec.Spec.gpu.num_sms
+       ~bytes:(float_of_int m *. float_of_int (3 * i) *. Cost.dtype_bytes)
+
+(* Full tensor-parallel MLP: AG + GEMM, activation, GEMM + RS
+   (Figure 1). *)
+let mlp_time (spec : Spec.t) ~world_size ~(shape : Tilelink_workloads.Shapes.mlp) =
+  let m = shape.Tilelink_workloads.Shapes.s in
+  let h = shape.Tilelink_workloads.Shapes.h in
+  let i = shape.Tilelink_workloads.Shapes.i in
+  let i_per_rank = i / world_size in
+  ag_gemm_time spec ~world_size ~m ~k:h ~n:(2 * i_per_rank)
+  +. activation_time spec ~m ~i:i_per_rank
+  +. gemm_rs_time spec ~world_size ~m ~k:i_per_rank ~n:h

@@ -1,0 +1,65 @@
+(* PyTorch end-to-end baseline for Figure 11: every layer component
+   runs non-overlapped (NCCL collective, host sync, cuBLAS/flash
+   kernel), mirroring Model's TileLink assembly component for
+   component. *)
+
+open Tilelink_machine
+module Model = Tilelink_workloads.Model
+module Moe = Tilelink_workloads.Moe
+module Attention = Tilelink_workloads.Attention
+module Collective = Tilelink_comm.Collective
+
+let torch_attention_time (spec : Spec.t) llm ~world_size =
+  (* NCCL AllGather of KV followed by a (flash, SDPA-style) attention
+     kernel — fused attention but no communication overlap. *)
+  let a = Model.attention_spec llm ~world_size in
+  Attention_baselines.kv_allgather_time spec a
+  +. Attention.flash_only_time spec a ~config:Model.attention_config
+  +. spec.Spec.overheads.host_sync
+
+let torch_mlp_time (spec : Spec.t) ~world_size ~hidden ~intermediate =
+  let ipr = intermediate / world_size in
+  Nonoverlap.ag_gemm_time spec ~world_size ~m:Model.tokens ~k:hidden
+    ~n:(2 * ipr)
+  +. Nonoverlap.activation_time spec ~m:Model.tokens ~i:ipr
+  +. Nonoverlap.gemm_rs_time spec ~world_size ~m:Model.tokens ~k:ipr
+       ~n:hidden
+
+let torch_moe_time (spec : Spec.t) llm ~experts ~topk ~world_size =
+  let moe = Model.moe_spec llm ~experts ~topk ~world_size in
+  let route = Moe.routing moe ~seed:7 in
+  (* PyTorch MoE with a grouped GEMM but unfused gather/scatter (the
+     CUTLASS path of Figure 9) — a reasonable production baseline,
+     between fully-eager dispatch and vLLM's fused kernels. *)
+  Moe_baselines.cutlass_part1 spec moe route
+  +. Moe_baselines.act_time spec moe
+  +. Moe_baselines.cutlass_part2 spec moe route
+
+let torch_layer_time (spec : Spec.t) llm ~world_size =
+  let h = llm.Model.hidden in
+  let qkv =
+    Nonoverlap.ag_gemm_time spec ~world_size ~m:Model.tokens ~k:h
+      ~n:(3 * h / world_size)
+  in
+  let o_proj =
+    Nonoverlap.gemm_rs_time spec ~world_size ~m:Model.tokens
+      ~k:(h / world_size) ~n:h
+  in
+  let attn = torch_attention_time spec llm ~world_size in
+  let ffn =
+    match llm.Model.ffn with
+    | Model.Dense ->
+      torch_mlp_time spec ~world_size ~hidden:h
+        ~intermediate:llm.Model.intermediate
+    | Model.Moe_ffn { experts; topk; shared_i } ->
+      let moe = torch_moe_time spec llm ~experts ~topk ~world_size in
+      let shared =
+        if shared_i = 0 then 0.0
+        else torch_mlp_time spec ~world_size ~hidden:h ~intermediate:shared_i
+      in
+      moe +. shared
+  in
+  qkv +. attn +. o_proj +. ffn
+
+let torch_model_time spec llm ~world_size =
+  float_of_int llm.Model.layers *. torch_layer_time spec llm ~world_size

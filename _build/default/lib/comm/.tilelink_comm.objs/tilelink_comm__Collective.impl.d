@@ -1,0 +1,1 @@
+lib/comm/collective.ml: Array Cluster Cost Counter List Printf Process Spec Tensor Tilelink_machine Tilelink_sim Tilelink_tensor Trace

@@ -1,0 +1,1 @@
+lib/comm/collective.mli: Cluster Spec Tensor Tilelink_machine Tilelink_tensor

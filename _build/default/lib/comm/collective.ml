@@ -1,0 +1,204 @@
+(* Operator-centric collectives — the NCCL-analog substrate.
+
+   These are the communication primitives of the *baselines*: whole-
+   operator AllGather / ReduceScatter / AllReduce / All2All that
+   synchronize the full system on entry and exit (the coarse-grained
+   SPMD synchronization §2.1 blames for idle compute units).
+
+   Each collective is created once (shared synchronization state) and
+   then every rank calls [run_rank] from inside its own simulation
+   process.  Timing comes from the cluster's links; the data-level
+   variants at the bottom are pure tensor functions used by tests. *)
+
+open Tilelink_sim
+open Tilelink_machine
+
+type algo = Ring | Mesh
+
+let algo_to_string = function Ring -> "ring" | Mesh -> "mesh"
+
+type kind =
+  | Allgather
+  | Reducescatter
+  | Allreduce
+  | All2all
+
+let kind_to_string = function
+  | Allgather -> "allgather"
+  | Reducescatter -> "reducescatter"
+  | Allreduce -> "allreduce"
+  | All2all -> "all2all"
+
+type t = {
+  cluster : Cluster.t;
+  kind : kind;
+  algo : algo;
+  bytes_per_shard : float;
+  (* step counters: received.(rank) counts chunks that have landed on
+     [rank]; used for ring-neighbor synchronization. *)
+  received : Counter.t array;
+  entry : Counter.t;  (* entry barrier *)
+  exit_ : Counter.t;  (* exit barrier *)
+}
+
+let create cluster ~kind ~algo ~bytes_per_shard =
+  let world = Cluster.world_size cluster in
+  {
+    cluster;
+    kind;
+    algo;
+    bytes_per_shard;
+    received = Array.init world (fun i ->
+        Counter.create ~name:(Printf.sprintf "recv%d" i) ());
+    entry = Counter.create ~name:"entry" ();
+    exit_ = Counter.create ~name:"exit" ();
+  }
+
+let world t = Cluster.world_size t.cluster
+
+(* System-wide barrier: arrive, then wait for everyone. *)
+let barrier counter ~world =
+  Counter.add counter 1;
+  Counter.await_ge counter world
+
+(* Ring step pattern shared by AllGather and ReduceScatter: at step s,
+   send one shard to the next rank and wait to have received s+1
+   chunks from the previous one. *)
+let ring_steps t ~rank ~per_step_local_cost =
+  let w = world t in
+  let next = (rank + 1) mod w in
+  for step = 0 to w - 2 do
+    Cluster.transfer t.cluster ~src:rank ~dst:next
+      ~bytes:t.bytes_per_shard;
+    Counter.add t.received.(next) 1;
+    Counter.await_ge t.received.(rank) (step + 1);
+    per_step_local_cost ()
+  done
+
+(* Full-mesh: pull every remote shard; the per-source egress servers
+   serialize conflicting transfers. *)
+let mesh_pull t ~rank ~per_shard_local_cost =
+  let w = world t in
+  let engine = Cluster.engine t.cluster in
+  let join =
+    Process.spawn_all engine
+      (List.filter_map
+         (fun src ->
+           if src = rank then None
+           else
+             Some
+               (fun () ->
+                 Cluster.transfer t.cluster ~src ~dst:rank
+                   ~bytes:t.bytes_per_shard;
+                 per_shard_local_cost ()))
+         (List.init w (fun i -> i)))
+  in
+  Process.Join.wait join
+
+(* Local reduction of one shard (read two operands, write one): a
+   memory-bound pass using the whole chip (collectives run alone). *)
+let reduce_cost t () =
+  let spec = Cluster.spec t.cluster in
+  let duration =
+    Cost.memory_pass_time spec ~sms:spec.Spec.gpu.num_sms
+      ~bytes:(3.0 *. t.bytes_per_shard)
+  in
+  Process.wait duration
+
+let no_cost () = ()
+
+(* Run rank [rank]'s part; call from inside a simulation process. *)
+let run_rank t ~rank =
+  let spec = Cluster.spec t.cluster in
+  let w = world t in
+  let trace = Cluster.trace t.cluster in
+  let t0 = Cluster.now t.cluster in
+  (* Operator-centric entry: launch + system synchronization. *)
+  Process.wait spec.Spec.overheads.collective_setup;
+  barrier t.entry ~world:w;
+  (match (t.kind, t.algo) with
+  | Allgather, Ring -> ring_steps t ~rank ~per_step_local_cost:no_cost
+  | Allgather, Mesh -> mesh_pull t ~rank ~per_shard_local_cost:no_cost
+  | Reducescatter, Ring ->
+    ring_steps t ~rank ~per_step_local_cost:(reduce_cost t)
+  | Reducescatter, Mesh ->
+    mesh_pull t ~rank ~per_shard_local_cost:(reduce_cost t)
+  | Allreduce, algo ->
+    (* reduce-scatter then all-gather. *)
+    (match algo with
+    | Ring -> ring_steps t ~rank ~per_step_local_cost:(reduce_cost t)
+    | Mesh -> mesh_pull t ~rank ~per_shard_local_cost:(reduce_cost t));
+    (match algo with
+    | Ring -> ring_steps t ~rank ~per_step_local_cost:no_cost
+    | Mesh -> mesh_pull t ~rank ~per_shard_local_cost:no_cost)
+  | All2all, _ ->
+    (* Every rank sends a distinct 1/w slice to every other rank. *)
+    let engine = Cluster.engine t.cluster in
+    let join =
+      Process.spawn_all engine
+        (List.filter_map
+           (fun dst ->
+             if dst = rank then None
+             else
+               Some
+                 (fun () ->
+                   Cluster.transfer t.cluster ~src:rank ~dst
+                     ~bytes:(t.bytes_per_shard /. float_of_int w)))
+           (List.init w (fun i -> i)))
+    in
+    Process.Join.wait join);
+  barrier t.exit_ ~world:w;
+  Process.wait spec.Spec.overheads.host_sync;
+  Trace.add trace ~rank ~lane:Trace.Link
+    ~label:(Printf.sprintf "%s-%s" (kind_to_string t.kind) (algo_to_string t.algo))
+    ~t0 ~t1:(Cluster.now t.cluster)
+
+(* Convenience: simulate the collective alone and return its time. *)
+let standalone_time spec ~world_size ~kind ~algo ~bytes_per_shard =
+  let cluster = Cluster.create spec ~world_size in
+  let op = create cluster ~kind ~algo ~bytes_per_shard in
+  let make rank () = run_rank op ~rank in
+  Cluster.run_ranks cluster (Array.init world_size make)
+
+(* ------------------------------------------------------------------ *)
+(* Data-level collectives (pure; used to validate semantics and to     *)
+(* build references for baselines).                                    *)
+(* ------------------------------------------------------------------ *)
+
+open Tilelink_tensor
+
+let allgather_data shards = Tensor.concat_rows shards
+
+let reduce_data tensors =
+  match tensors with
+  | [] -> invalid_arg "Collective.reduce_data: empty"
+  | first :: rest -> List.fold_left Tensor.add first rest
+
+let reducescatter_data tensors =
+  let summed = reduce_data tensors in
+  let w = List.length tensors in
+  let rows = Tensor.rows summed in
+  if rows mod w <> 0 then
+    invalid_arg "Collective.reducescatter_data: rows not divisible";
+  let per = rows / w in
+  List.init w (fun r ->
+      Tensor.row_slice summed ~lo:(r * per) ~hi:((r + 1) * per))
+
+let allreduce_data tensors =
+  let summed = reduce_data tensors in
+  List.map (fun _ -> Tensor.copy summed) tensors
+
+let all2all_data tensors =
+  let w = List.length tensors in
+  List.iter
+    (fun t ->
+      if Tensor.rows t mod w <> 0 then
+        invalid_arg "Collective.all2all_data: rows not divisible")
+    tensors;
+  List.init w (fun dst ->
+      Tensor.concat_rows
+        (List.map
+           (fun src_tensor ->
+             let per = Tensor.rows src_tensor / w in
+             Tensor.row_slice src_tensor ~lo:(dst * per) ~hi:((dst + 1) * per))
+           tensors))

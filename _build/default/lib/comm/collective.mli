@@ -1,0 +1,46 @@
+(** Operator-centric collectives (the NCCL-analog substrate for
+    baselines): whole-operator AllGather / ReduceScatter / AllReduce /
+    All2All with system-wide entry/exit synchronization. *)
+
+open Tilelink_machine
+
+type algo = Ring | Mesh
+
+val algo_to_string : algo -> string
+
+type kind =
+  | Allgather
+  | Reducescatter
+  | Allreduce
+  | All2all
+
+val kind_to_string : kind -> string
+
+type t
+
+val create :
+  Cluster.t -> kind:kind -> algo:algo -> bytes_per_shard:float -> t
+(** Shared synchronization state for one collective invocation. *)
+
+val run_rank : t -> rank:int -> unit
+(** Execute rank's part; call from inside a simulation process.  Every
+    rank of the cluster must participate or the run deadlocks. *)
+
+val standalone_time :
+  Spec.t ->
+  world_size:int ->
+  kind:kind ->
+  algo:algo ->
+  bytes_per_shard:float ->
+  float
+(** Simulate the collective alone and return its makespan (µs). *)
+
+(** {2 Pure data-level semantics} *)
+
+open Tilelink_tensor
+
+val allgather_data : Tensor.t list -> Tensor.t
+val reduce_data : Tensor.t list -> Tensor.t
+val reducescatter_data : Tensor.t list -> Tensor.t list
+val allreduce_data : Tensor.t list -> Tensor.t list
+val all2all_data : Tensor.t list -> Tensor.t list

@@ -1,0 +1,1 @@
+lib/machine/cluster.ml: Array Engine Printf Process Shape_math Spec Tilelink_sim

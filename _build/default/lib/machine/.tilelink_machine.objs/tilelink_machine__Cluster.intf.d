@@ -1,0 +1,1 @@
+lib/machine/cluster.mli: Spec Tilelink_sim

@@ -1,0 +1,1 @@
+lib/machine/report.ml: Float Fmt List Tilelink_sim

@@ -1,0 +1,1 @@
+lib/machine/report.mli: Format Tilelink_sim

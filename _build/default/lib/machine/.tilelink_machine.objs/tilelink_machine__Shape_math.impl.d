@@ -1,0 +1,1 @@
+lib/machine/shape_math.ml:

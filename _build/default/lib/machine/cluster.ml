@@ -1,0 +1,126 @@
+(* A simulated GPU cluster: per-rank resources plus the interconnect.
+
+   Each rank owns an SM pool and a DMA channel pool; each rank also has
+   an NVLink egress bandwidth server (NVSwitch gives independent lanes,
+   so egress is the binding constraint) and each node has a NIC for
+   inter-node traffic. *)
+
+type rank = {
+  id : int;
+  node : int;
+  sms : Tilelink_sim.Resource.t;
+  dma : Tilelink_sim.Resource.t;
+  nvlink_egress : Tilelink_sim.Bandwidth.t;
+}
+
+type t = {
+  spec : Spec.t;
+  world_size : int;
+  engine : Tilelink_sim.Engine.t;
+  trace : Tilelink_sim.Trace.t;
+  ranks : rank array;
+  nics : Tilelink_sim.Bandwidth.t array; (* one per node *)
+}
+
+let create ?(trace_enabled = false) (spec : Spec.t) ~world_size =
+  if world_size <= 0 then invalid_arg "Cluster.create: world_size";
+  let engine = Tilelink_sim.Engine.create () in
+  let trace = Tilelink_sim.Trace.create ~enabled:trace_enabled () in
+  let num_nodes = Shape_math.ceil_div world_size spec.gpus_per_node in
+  let nics =
+    Array.init num_nodes (fun node ->
+        (* One stream: the NIC's aggregate rate is shared, so transfers
+           serialize at full rate rather than multiplying throughput. *)
+        Tilelink_sim.Bandwidth.create engine
+          ~name:(Printf.sprintf "nic%d" node)
+          ~gbps:(spec.interconnect.nic_gbps *. float_of_int spec.gpus_per_node)
+          ~latency_us:spec.interconnect.nic_latency ~streams:1 ())
+  in
+  let ranks =
+    Array.init world_size (fun id ->
+        let node = id / spec.gpus_per_node in
+        {
+          id;
+          node;
+          sms =
+            Tilelink_sim.Resource.create engine
+              ~name:(Printf.sprintf "sm%d" id)
+              ~capacity:spec.gpu.num_sms;
+          dma =
+            Tilelink_sim.Resource.create engine
+              ~name:(Printf.sprintf "dma%d" id)
+              ~capacity:spec.gpu.dma_channels;
+          nvlink_egress =
+            (* Egress bandwidth is shared across all outgoing copies of
+               a GPU: one stream serializes them at the full rate. *)
+            Tilelink_sim.Bandwidth.create engine
+              ~name:(Printf.sprintf "nvlink%d" id)
+              ~gbps:spec.interconnect.nvlink_gbps
+              ~latency_us:spec.interconnect.nvlink_latency ~streams:1 ();
+        })
+  in
+  { spec; world_size; engine; trace; ranks; nics }
+
+let spec t = t.spec
+let world_size t = t.world_size
+let engine t = t.engine
+let trace t = t.trace
+let rank t id = t.ranks.(id)
+let now t = Tilelink_sim.Engine.now t.engine
+
+let same_node t src dst = t.ranks.(src).node = t.ranks.(dst).node
+
+let num_nodes t = Array.length t.nics
+
+let nic_bytes t ~node =
+  if node < 0 || node >= num_nodes t then
+    invalid_arg "Cluster.nic_bytes: node out of range";
+  Tilelink_sim.Bandwidth.bytes_moved t.nics.(node)
+
+let nvlink_bytes t ~rank_id =
+  Tilelink_sim.Bandwidth.bytes_moved t.ranks.(rank_id).nvlink_egress
+
+(* Move [bytes] from [src] to [dst].  Intra-node traffic binds on the
+   source's NVLink egress; inter-node traffic binds on both nodes'
+   NICs (modeled as the source node NIC, the bottleneck in practice).
+   A local "transfer" is a no-op time-wise beyond HBM, which callers
+   model separately. *)
+let transfer t ~src ~dst ~bytes =
+  if src = dst then ()
+  else if same_node t src dst then
+    Tilelink_sim.Bandwidth.transfer t.ranks.(src).nvlink_egress ~bytes
+  else Tilelink_sim.Bandwidth.transfer t.nics.(t.ranks.(src).node) ~bytes
+
+let transfer_duration t ~src ~dst ~bytes =
+  if src = dst then 0.0
+  else if same_node t src dst then
+    Tilelink_sim.Bandwidth.duration t.ranks.(src).nvlink_egress ~bytes
+  else Tilelink_sim.Bandwidth.duration t.nics.(t.ranks.(src).node) ~bytes
+
+(* Run a kernel-shaped activity on [sms] SMs of [rank_id] for
+   [duration]: acquire the SM pool, wait, trace. *)
+let on_sms t ~rank_id ~sms ~label ~lane duration =
+  let r = t.ranks.(rank_id) in
+  Tilelink_sim.Resource.use r.sms sms (fun () ->
+      let t0 = now t in
+      Tilelink_sim.Process.wait duration;
+      Tilelink_sim.Trace.add t.trace ~rank:rank_id ~lane ~label ~t0
+        ~t1:(now t))
+
+let on_dma t ~rank_id ~label body =
+  let r = t.ranks.(rank_id) in
+  Tilelink_sim.Resource.use r.dma 1 (fun () ->
+      let t0 = now t in
+      body ();
+      Tilelink_sim.Trace.add t.trace ~rank:rank_id ~lane:Tilelink_sim.Trace.Dma
+        ~label ~t0 ~t1:(now t))
+
+(* Convenience: run a full simulation given per-rank process bodies and
+   return the makespan. *)
+let run_ranks t bodies =
+  let open Tilelink_sim in
+  if Array.length bodies <> t.world_size then
+    invalid_arg "Cluster.run_ranks: need one body per rank";
+  Array.iteri (fun _i body -> Process.spawn t.engine body) bodies;
+  Engine.run t.engine;
+  now t

@@ -1,0 +1,50 @@
+(** A simulated GPU cluster: per-rank SM and DMA pools, NVLink egress
+    servers, per-node NICs, an engine and a trace. *)
+
+type rank = {
+  id : int;
+  node : int;
+  sms : Tilelink_sim.Resource.t;
+  dma : Tilelink_sim.Resource.t;
+  nvlink_egress : Tilelink_sim.Bandwidth.t;
+}
+
+type t
+
+val create : ?trace_enabled:bool -> Spec.t -> world_size:int -> t
+val spec : t -> Spec.t
+val world_size : t -> int
+val engine : t -> Tilelink_sim.Engine.t
+val trace : t -> Tilelink_sim.Trace.t
+val rank : t -> int -> rank
+val now : t -> float
+val same_node : t -> int -> int -> bool
+val num_nodes : t -> int
+
+val nic_bytes : t -> node:int -> float
+(** Bytes that left the node's NIC so far. *)
+
+val nvlink_bytes : t -> rank_id:int -> float
+(** Bytes that left the rank's NVLink egress so far. *)
+
+val transfer : t -> src:int -> dst:int -> bytes:float -> unit
+(** Blocking move over NVLink (intra-node) or NIC (inter-node); no-op
+    when [src = dst].  Must run inside a process. *)
+
+val transfer_duration : t -> src:int -> dst:int -> bytes:float -> float
+
+val on_sms :
+  t ->
+  rank_id:int ->
+  sms:int ->
+  label:string ->
+  lane:Tilelink_sim.Trace.lane ->
+  float ->
+  unit
+(** Occupy [sms] SMs for the given duration and trace the span. *)
+
+val on_dma : t -> rank_id:int -> label:string -> (unit -> unit) -> unit
+(** Run [body] while holding one DMA channel; traces the span. *)
+
+val run_ranks : t -> (unit -> unit) array -> float
+(** Spawn one process per rank, run to completion, return makespan. *)

@@ -1,0 +1,5 @@
+(* Integer helpers shared inside the machine model. *)
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Shape_math.ceil_div: non-positive divisor";
+  (a + b - 1) / b

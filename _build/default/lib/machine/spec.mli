@@ -1,0 +1,39 @@
+(** Hardware description records (rates in FLOP/µs and bytes/µs,
+    overheads in µs). *)
+
+type gpu = {
+  gpu_name : string;
+  num_sms : int;
+  flops_per_sm : float;
+  mac_efficiency : float;
+  hbm_bw : float;
+  dma_channels : int;
+  tile_overhead : float;
+  load_latency : float;
+}
+
+type interconnect = {
+  nvlink_gbps : float;
+  nvlink_latency : float;
+  nic_gbps : float;
+  nic_latency : float;
+}
+
+type overheads = {
+  kernel_launch : float;
+  host_sync : float;
+  collective_setup : float;
+  signal_notify : float;
+  signal_wait : float;
+  fusion_interference : float;
+}
+
+type t = {
+  gpu : gpu;
+  interconnect : interconnect;
+  overheads : overheads;
+  gpus_per_node : int;
+}
+
+val total_flops : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/bandwidth.mli: Engine

@@ -1,0 +1,1 @@
+lib/sim/counter.ml: List Process

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Buffer Bytes Float Hashtbl List Printf String

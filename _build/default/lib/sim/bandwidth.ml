@@ -1,0 +1,49 @@
+(* Bandwidth server: a link that serializes transfers at a fixed rate.
+
+   Each transfer occupies the server for [latency + bytes / rate] and
+   transfers are admitted FIFO.  A directed NVLink lane between two
+   GPUs, a node NIC, or an HBM port are all instances.  [streams]
+   allows a link to carry that many transfers concurrently, each at the
+   full per-stream rate (an NVSwitch provides independent lanes per
+   peer pair; a NIC usually has [streams = 1]). *)
+
+type t = {
+  name : string;
+  rate : float;          (* bytes per microsecond *)
+  latency : float;       (* microseconds *)
+  server : Resource.t;
+  mutable bytes_moved : float;
+  mutable transfer_count : int;
+}
+
+let create engine ~name ~gbps ~latency_us ?(streams = 1) () =
+  if gbps <= 0.0 then invalid_arg "Bandwidth.create: rate must be > 0";
+  {
+    name;
+    (* GB/s = 1e9 B / 1e6 µs = 1e3 B/µs *)
+    rate = gbps *. 1.0e3;
+    latency = latency_us;
+    server = Resource.create engine ~name ~capacity:streams;
+    bytes_moved = 0.0;
+    transfer_count = 0;
+  }
+
+let name t = t.name
+let bytes_moved t = t.bytes_moved
+let transfer_count t = t.transfer_count
+let busy_time t = Resource.busy_time t.server
+
+let duration t ~bytes =
+  if bytes < 0.0 then invalid_arg "Bandwidth.duration: negative size";
+  t.latency +. (bytes /. t.rate)
+
+(* The server is held only for the wire time (bytes / rate); latency is
+   propagation and overlaps with the next transfer's wire time, so
+   back-to-back small messages pipeline instead of serializing their
+   latencies. *)
+let transfer t ~bytes =
+  Resource.use t.server 1 (fun () ->
+      Process.wait (bytes /. t.rate);
+      t.bytes_moved <- t.bytes_moved +. bytes;
+      t.transfer_count <- t.transfer_count + 1);
+  Process.wait t.latency

@@ -1,0 +1,26 @@
+(** Bandwidth server: FIFO link with fixed rate and latency.
+
+    A transfer holds one of the link's [streams] for
+    [latency_us + bytes / rate]. *)
+
+type t
+
+val create :
+  Engine.t ->
+  name:string ->
+  gbps:float ->
+  latency_us:float ->
+  ?streams:int ->
+  unit ->
+  t
+
+val name : t -> string
+val bytes_moved : t -> float
+val transfer_count : t -> int
+val busy_time : t -> float
+
+val duration : t -> bytes:float -> float
+(** Service time of a transfer, excluding queueing. *)
+
+val transfer : t -> bytes:float -> unit
+(** Blocking transfer; must run inside a process. *)

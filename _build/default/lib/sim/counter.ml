@@ -1,0 +1,54 @@
+(* Waitable monotonic counter.
+
+   This is the simulator-level carrier for barrier channels: notify
+   primitives add to a counter with release semantics, wait primitives
+   park until the counter reaches a threshold.  This is the GPU's
+   [red.release] / [ld.global.acquire] spin loop collapsed into an
+   event subscription. *)
+
+type waiter = { threshold : int; resume : unit -> unit }
+
+type t = {
+  name : string;
+  mutable value : int;
+  mutable waiters : waiter list;
+  mutable notify_count : int;
+}
+
+let create ?(name = "counter") () =
+  { name; value = 0; waiters = []; notify_count = 0 }
+
+let name t = t.name
+let value t = t.value
+let notify_count t = t.notify_count
+
+let wake t =
+  let ready, still =
+    List.partition (fun w -> t.value >= w.threshold) t.waiters
+  in
+  t.waiters <- still;
+  (* Wake in registration order: the list is LIFO, so reverse. *)
+  List.iter (fun w -> w.resume ()) (List.rev ready)
+
+let add t delta =
+  if delta <= 0 then invalid_arg "Counter.add: delta must be > 0";
+  t.value <- t.value + delta;
+  t.notify_count <- t.notify_count + 1;
+  wake t
+
+let set_at_least t target =
+  if target > t.value then begin
+    t.value <- target;
+    t.notify_count <- t.notify_count + 1;
+    wake t
+  end
+
+let await_ge t threshold =
+  if t.value < threshold then
+    Process.suspend (fun resume ->
+        t.waiters <- { threshold; resume } :: t.waiters)
+
+let reset t =
+  if t.waiters <> [] then invalid_arg "Counter.reset: waiters present";
+  t.value <- 0;
+  t.notify_count <- 0

@@ -1,0 +1,21 @@
+(** Waitable monotonic counter — the simulator carrier for barrier
+    channels (release-store / acquire-load spin loops). *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+val value : t -> int
+val notify_count : t -> int
+
+val add : t -> int -> unit
+(** Increment and wake satisfied waiters. *)
+
+val set_at_least : t -> int -> unit
+(** Raise the value to at least [target] (idempotent notify). *)
+
+val await_ge : t -> int -> unit
+(** Park the calling process until [value >= threshold]. *)
+
+val reset : t -> unit
+(** Reset to zero; fails if any process is waiting. *)

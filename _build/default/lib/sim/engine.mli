@@ -1,0 +1,32 @@
+(** Discrete-event simulation core: virtual clock + event heap.
+
+    All times are in microseconds. *)
+
+exception Deadlock of string
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time. *)
+
+val executed_events : t -> int
+val pending_events : t -> int
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+
+val process_started : t -> unit
+val process_finished : t -> unit
+val process_blocked : t -> unit
+val process_unblocked : t -> unit
+
+val step : t -> bool
+(** Execute the next event; [false] if the queue is empty. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue (up to [until] if given).  Raises {!Deadlock}
+    if live processes remain when the queue is empty. *)

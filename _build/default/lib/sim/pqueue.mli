@@ -1,0 +1,15 @@
+(** Binary min-heap priority queue with FIFO tie-breaking.
+
+    Events pushed with equal priority pop in insertion order, which
+    makes the discrete-event loop deterministic. *)
+
+type 'a entry = { priority : float; seq : int; payload : 'a }
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> 'a -> unit
+val peek : 'a t -> 'a entry option
+val pop : 'a t -> 'a entry option

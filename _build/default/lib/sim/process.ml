@@ -1,0 +1,87 @@
+(* Direct-style simulation processes on top of OCaml 5 effects.
+
+   A process is a plain [unit -> unit] function that may perform the
+   effects below.  [spawn] installs a deep handler that converts each
+   effect into event-queue bookings, so process code reads sequentially
+   while the engine interleaves many of them on the virtual clock. *)
+
+type _ Effect.t +=
+  | Wait : float -> unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let wait dt =
+  if dt < 0.0 then invalid_arg "Process.wait: negative duration";
+  Effect.perform (Wait dt)
+
+let suspend register = Effect.perform (Suspend register)
+
+let yield () = Effect.perform (Wait 0.0)
+
+let spawn ?(at = 0.0) engine body =
+  Engine.process_started engine;
+  let handler =
+    {
+      Effect.Deep.retc =
+        (fun () -> Engine.process_finished engine);
+      exnc = (fun exn -> Engine.process_finished engine; raise exn);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Wait dt ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                Engine.schedule engine ~delay:dt (fun () ->
+                    Effect.Deep.continue k ()))
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                Engine.process_blocked engine;
+                let resumed = ref false in
+                register (fun () ->
+                    if !resumed then
+                      invalid_arg "Process: resume called twice";
+                    resumed := true;
+                    Engine.process_unblocked engine;
+                    Engine.schedule engine ~delay:0.0 (fun () ->
+                        Effect.Deep.continue k ())))
+          | _ -> None);
+    }
+  in
+  Engine.schedule engine ~delay:at (fun () ->
+      Effect.Deep.match_with body () handler)
+
+(* A completion latch: processes can join on the termination of a group
+   of other processes. *)
+module Join = struct
+  type t = {
+    mutable remaining : int;
+    mutable waiters : (unit -> unit) list;
+  }
+
+  let create n =
+    if n < 0 then invalid_arg "Join.create: negative count";
+    { remaining = n; waiters = [] }
+
+  let done_one t =
+    if t.remaining <= 0 then invalid_arg "Join.done_one: already complete";
+    t.remaining <- t.remaining - 1;
+    if t.remaining = 0 then begin
+      let ws = List.rev t.waiters in
+      t.waiters <- [];
+      List.iter (fun w -> w ()) ws
+    end
+
+  let wait t =
+    if t.remaining > 0 then
+      suspend (fun resume -> t.waiters <- resume :: t.waiters)
+end
+
+let spawn_all ?(at = 0.0) engine bodies =
+  let join = Join.create (List.length bodies) in
+  List.iter
+    (fun body ->
+      spawn ~at engine (fun () ->
+          body ();
+          Join.done_one join))
+    bodies;
+  join

@@ -1,0 +1,30 @@
+(** Direct-style simulation processes built on OCaml 5 effects.
+
+    Code inside a spawned process calls {!wait} / {!suspend} and reads
+    sequentially; the engine interleaves processes on virtual time. *)
+
+val wait : float -> unit
+(** Advance this process's virtual time by the given duration (µs).
+    Must be called from within a spawned process. *)
+
+val yield : unit -> unit
+(** Re-enqueue at the current instant, letting same-time events run. *)
+
+val suspend : ((unit -> unit) -> unit) -> unit
+(** [suspend register] parks the process and hands a one-shot [resume]
+    callback to [register]; the process continues when it is called. *)
+
+val spawn : ?at:float -> Engine.t -> (unit -> unit) -> unit
+(** Start a new process at time [now + at]. *)
+
+module Join : sig
+  type t
+
+  val create : int -> t
+  val done_one : t -> unit
+  val wait : t -> unit
+  (** Block the calling process until the latch reaches zero. *)
+end
+
+val spawn_all : ?at:float -> Engine.t -> (unit -> unit) list -> Join.t
+(** Spawn every body and return a latch that completes when all do. *)

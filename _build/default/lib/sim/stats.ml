@@ -1,0 +1,42 @@
+(* Small numeric helpers shared by benches and reports. *)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value"
+          else acc +. log x)
+        0.0 xs
+    in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty"
+  | x :: xs -> List.fold_left Float.min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty"
+  | x :: xs -> List.fold_left Float.max x xs
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+      /. float_of_int (List.length xs - 1)
+    in
+    sqrt var
+
+let percent_of ~base x = if base = 0.0 then 0.0 else x /. base *. 100.0
+
+let speedup ~baseline ~candidate =
+  if candidate <= 0.0 then invalid_arg "Stats.speedup: non-positive time";
+  baseline /. candidate

@@ -1,0 +1,11 @@
+(** Small numeric helpers shared by benches and reports. *)
+
+val mean : float list -> float
+val geomean : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float
+val stddev : float list -> float
+val percent_of : base:float -> float -> float
+
+val speedup : baseline:float -> candidate:float -> float
+(** [baseline /. candidate]; > 1 means candidate is faster. *)

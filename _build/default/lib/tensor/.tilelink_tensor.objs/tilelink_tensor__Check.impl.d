@@ -1,0 +1,1 @@
+lib/tensor/check.ml: Array Float Fmt Printf Shape Tensor

@@ -1,0 +1,1 @@
+lib/tensor/check.mli: Format Tensor

@@ -1,0 +1,1 @@
+lib/tensor/nn.ml: Array Float Linalg Shape Tensor

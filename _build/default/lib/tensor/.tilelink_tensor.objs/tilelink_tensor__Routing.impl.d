@@ -1,0 +1,1 @@
+lib/tensor/routing.ml: Array Float List Nn Shape Tensor

@@ -1,0 +1,1 @@
+lib/tensor/tensor.ml: Array Float Fmt Int64 List Shape

@@ -1,0 +1,15 @@
+(** Approximate tensor comparison for correctness tests. *)
+
+type report = {
+  max_abs_err : float;
+  max_rel_err : float;
+  worst_index : int array;
+  within : bool;
+}
+
+val compare : ?atol:float -> ?rtol:float -> Tensor.t -> Tensor.t -> report
+(** [compare expected actual]; [within] holds when every element obeys
+    [|e - a| <= atol + rtol * |e|]. *)
+
+val close : ?atol:float -> ?rtol:float -> Tensor.t -> Tensor.t -> bool
+val pp_report : Format.formatter -> report -> unit

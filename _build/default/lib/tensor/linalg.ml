@@ -1,0 +1,93 @@
+(* Dense linear algebra: GEMM, batched GEMM, grouped GEMM.
+
+   These are the reference kernels that both sides of every correctness
+   test share: the overlapped tile programs must reproduce exactly what
+   these plain loops compute. *)
+
+let gemm ?(accumulate = false) ?(out : Tensor.t option) a b =
+  let m = Tensor.rows a and k = Tensor.cols a in
+  if Tensor.rows b <> k then invalid_arg "Linalg.gemm: inner dim mismatch";
+  let n = Tensor.cols b in
+  let c =
+    match out with
+    | Some c ->
+      if Tensor.rows c <> m || Tensor.cols c <> n then
+        invalid_arg "Linalg.gemm: output shape mismatch";
+      c
+    | None -> Tensor.zeros (Shape.of_list [ m; n ])
+  in
+  let a_data = Tensor.data a
+  and b_data = Tensor.data b
+  and c_data = Tensor.data c in
+  (* i-k-j loop order keeps the inner loop streaming over rows of b. *)
+  for i = 0 to m - 1 do
+    if not accumulate then
+      Array.fill c_data (i * n) n 0.0;
+    for kk = 0 to k - 1 do
+      let aik = a_data.((i * k) + kk) in
+      if aik <> 0.0 then begin
+        let b_row = kk * n in
+        let c_row = i * n in
+        for j = 0 to n - 1 do
+          c_data.(c_row + j) <-
+            c_data.(c_row + j) +. (aik *. b_data.(b_row + j))
+        done
+      end
+    done
+  done;
+  c
+
+(* C[g] = A[g] * B[g] where the groups may have different row counts
+   but share K and N — the Group GEMM of MoE layers. *)
+let group_gemm groups =
+  List.map (fun (a, b) -> gemm a b) groups
+
+(* Batched GEMM over a leading batch dimension: a : [B, M, K],
+   b : [B, K, N] -> [B, M, N]. *)
+let batch_gemm a b =
+  let sa = Tensor.shape a and sb = Tensor.shape b in
+  if Shape.rank sa <> 3 || Shape.rank sb <> 3 then
+    invalid_arg "Linalg.batch_gemm: rank <> 3";
+  let batches = Shape.dim sa 0 in
+  if Shape.dim sb 0 <> batches then
+    invalid_arg "Linalg.batch_gemm: batch mismatch";
+  let m = Shape.dim sa 1 and k = Shape.dim sa 2 in
+  if Shape.dim sb 1 <> k then
+    invalid_arg "Linalg.batch_gemm: inner dim mismatch";
+  let n = Shape.dim sb 2 in
+  let out = Tensor.zeros (Shape.of_list [ batches; m; n ]) in
+  let slice_2d t batch rows cols =
+    let copy = Tensor.zeros (Shape.of_list [ rows; cols ]) in
+    Array.blit (Tensor.data t) (batch * rows * cols) (Tensor.data copy) 0
+      (rows * cols);
+    copy
+  in
+  for batch = 0 to batches - 1 do
+    let c = gemm (slice_2d a batch m k) (slice_2d b batch k n) in
+    Array.blit (Tensor.data c) 0 (Tensor.data out) (batch * m * n) (m * n)
+  done;
+  out
+
+let matvec a x =
+  let m = Tensor.rows a and k = Tensor.cols a in
+  if Tensor.numel x <> k then invalid_arg "Linalg.matvec: size mismatch";
+  let a_data = Tensor.data a and x_data = Tensor.data x in
+  Tensor.of_array (Shape.of_list [ m ])
+    (Array.init m (fun i ->
+         let acc = ref 0.0 in
+         for kk = 0 to k - 1 do
+           acc := !acc +. (a_data.((i * k) + kk) *. x_data.(kk))
+         done;
+         !acc))
+
+(* FLOP counts used by the cost model; kept next to the kernels so the
+   two can never drift apart. *)
+let gemm_flops ~m ~n ~k = 2.0 *. float_of_int m *. float_of_int n *. float_of_int k
+
+let attention_flops ~batch_heads ~q_len ~kv_len ~head_dim =
+  (* QK^T and PV, both [q_len, kv_len] x head_dim. *)
+  4.0
+  *. float_of_int batch_heads
+  *. float_of_int q_len
+  *. float_of_int kv_len
+  *. float_of_int head_dim

@@ -1,0 +1,17 @@
+(** Dense linear algebra reference kernels. *)
+
+val gemm : ?accumulate:bool -> ?out:Tensor.t -> Tensor.t -> Tensor.t -> Tensor.t
+(** [gemm a b] with [a : [m,k]], [b : [k,n]].  With [~out] writes (or
+    with [~accumulate:true] adds) into the given tensor. *)
+
+val group_gemm : (Tensor.t * Tensor.t) list -> Tensor.t list
+(** Per-group GEMMs with possibly different row counts (MoE). *)
+
+val batch_gemm : Tensor.t -> Tensor.t -> Tensor.t
+(** [a : [B,M,K]], [b : [B,K,N]] -> [B,M,N]. *)
+
+val matvec : Tensor.t -> Tensor.t -> Tensor.t
+
+val gemm_flops : m:int -> n:int -> k:int -> float
+val attention_flops :
+  batch_heads:int -> q_len:int -> kv_len:int -> head_dim:int -> float

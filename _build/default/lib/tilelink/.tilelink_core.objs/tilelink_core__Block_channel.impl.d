@@ -1,0 +1,1 @@
+lib/tilelink/block_channel.ml: Instr List Lower Mapping

@@ -1,0 +1,1 @@
+lib/tilelink/block_channel.mli: Instr Lower Mapping Primitive

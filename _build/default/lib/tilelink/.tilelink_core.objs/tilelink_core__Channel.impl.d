@@ -1,0 +1,1 @@
+lib/tilelink/channel.ml: Array Printf Tilelink_sim

@@ -1,0 +1,1 @@
+lib/tilelink/codegen.ml: Array Buffer Instr List Lower Option Printf Program String

@@ -1,0 +1,1 @@
+lib/tilelink/codegen.mli: Instr Program

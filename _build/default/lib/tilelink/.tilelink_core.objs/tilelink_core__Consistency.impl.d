@@ -1,0 +1,1 @@
+lib/tilelink/consistency.ml: Array Fmt Instr List Printf Program

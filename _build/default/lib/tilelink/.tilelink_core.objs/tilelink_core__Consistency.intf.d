@@ -1,0 +1,1 @@
+lib/tilelink/consistency.mli: Format Instr Program

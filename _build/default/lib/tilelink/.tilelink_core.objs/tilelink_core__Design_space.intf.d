@@ -1,0 +1,1 @@
+lib/tilelink/design_space.mli: Tile

@@ -1,0 +1,1 @@
+lib/tilelink/fault.ml: Array Instr List Program

@@ -1,0 +1,1 @@
+lib/tilelink/fault.mli: Program

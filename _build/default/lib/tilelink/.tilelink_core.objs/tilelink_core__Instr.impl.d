@@ -1,0 +1,1 @@
+lib/tilelink/instr.ml: Fmt Memory Printf String

@@ -1,0 +1,1 @@
+lib/tilelink/lower.ml: Hashtbl Instr List Mapping Primitive Printf Tilelink_machine

@@ -1,0 +1,1 @@
+lib/tilelink/lower.mli: Instr Mapping Primitive

@@ -1,0 +1,1 @@
+lib/tilelink/mapping.ml: Array Fmt Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/tilelink/mapping.mli: Format

@@ -1,0 +1,1 @@
+lib/tilelink/memory.ml: Array Hashtbl List Printf Tensor Tilelink_tensor

@@ -1,0 +1,1 @@
+lib/tilelink/memory.mli: Shape Tensor Tilelink_tensor

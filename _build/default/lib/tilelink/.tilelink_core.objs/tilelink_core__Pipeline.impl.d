@@ -1,0 +1,1 @@
+lib/tilelink/pipeline.ml: Array Instr List Program

@@ -1,0 +1,1 @@
+lib/tilelink/pipeline.mli: Instr Program

@@ -1,0 +1,1 @@
+lib/tilelink/primitive.ml: Fmt Instr List Printf

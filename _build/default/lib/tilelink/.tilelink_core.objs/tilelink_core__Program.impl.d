@@ -1,0 +1,1 @@
+lib/tilelink/program.ml: Array Fmt Instr List Printf Tilelink_sim

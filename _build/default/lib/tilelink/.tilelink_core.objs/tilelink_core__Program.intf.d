@@ -1,0 +1,1 @@
+lib/tilelink/program.mli: Format Instr Tilelink_sim

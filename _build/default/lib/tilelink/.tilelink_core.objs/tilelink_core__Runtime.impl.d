@@ -1,0 +1,1 @@
+lib/tilelink/runtime.ml: Array Channel Cluster Cost Engine Float Fun Instr List Memory Option Process Program Resource Spec Tensor Tilelink_machine Tilelink_sim Tilelink_tensor Trace

@@ -1,0 +1,1 @@
+lib/tilelink/runtime.mli: Channel Memory Program Tilelink_machine

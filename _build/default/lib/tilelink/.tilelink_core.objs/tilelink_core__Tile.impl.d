@@ -1,0 +1,1 @@
+lib/tilelink/tile.ml: Fmt List Printf

@@ -1,0 +1,1 @@
+lib/tilelink/tune.ml: Design_space List Runtime Tilelink_sim

@@ -1,0 +1,1 @@
+lib/tilelink/tune.mli: Design_space Program Tilelink_machine

@@ -1,0 +1,58 @@
+(* BlockChannel (paper §6): the tile-centric mapping context.
+
+   The real TileLink passes a special [BlockChannel] parameter into the
+   Triton kernel; its embedded metadata (rank, world size, barrier
+   configuration, producer/consumer block relationships) is decomposed
+   during AST translation to construct the tile-centric mapping.  Here
+   it is the record kernel builders thread through lowering. *)
+
+type t = {
+  rank : int;
+  world_size : int;
+  mapping : Mapping.t;
+  channel_base : int;  (* offset into the rank's pc channel array *)
+  peer_channels : int;
+}
+
+let create ?(channel_base = 0) ?(peer_channels = 1) ~rank ~world_size mapping
+    =
+  if rank < 0 || rank >= world_size then
+    invalid_arg "Block_channel.create: rank out of range";
+  if Mapping.ranks mapping <> world_size then
+    invalid_arg "Block_channel.create: mapping/world size mismatch";
+  { rank; world_size; mapping; channel_base; peer_channels }
+
+let rank t = t.rank
+let world_size t = t.world_size
+let mapping t = t.mapping
+let channel_base t = t.channel_base
+let peer_channels t = t.peer_channels
+
+(* Channels this link occupies: [channel_base, channel_base + extent). *)
+let channel_extent t = Mapping.num_channels t.mapping
+
+let lower_config t : Lower.config =
+  { Lower.mapping = t.mapping; rank = t.rank; world_size = t.world_size }
+
+(* Lower a statement list in this context, applying the channel-base
+   offset to every producer/consumer signal target. *)
+let lower t stmts =
+  let shift = function
+    | Instr.Wait { target = Instr.Pc { rank; channel }; threshold; guards } ->
+      Instr.Wait
+        {
+          target = Instr.Pc { rank; channel = channel + t.channel_base };
+          threshold;
+          guards;
+        }
+    | Instr.Notify { target = Instr.Pc { rank; channel }; amount; releases }
+      ->
+      Instr.Notify
+        {
+          target = Instr.Pc { rank; channel = channel + t.channel_base };
+          amount;
+          releases;
+        }
+    | instr -> instr
+  in
+  List.map shift (Lower.lower (lower_config t) stmts)

@@ -1,0 +1,24 @@
+(** BlockChannel: the tile-centric mapping context threaded through
+    kernel builders (rank, world size, mapping, channel layout). *)
+
+type t
+
+val create :
+  ?channel_base:int ->
+  ?peer_channels:int ->
+  rank:int ->
+  world_size:int ->
+  Mapping.t ->
+  t
+
+val rank : t -> int
+val world_size : t -> int
+val mapping : t -> Mapping.t
+val channel_base : t -> int
+val peer_channels : t -> int
+val channel_extent : t -> int
+val lower_config : t -> Lower.config
+
+val lower : t -> Primitive.t list -> Instr.t list
+(** Lower statements in this context, offsetting producer/consumer
+    channel ids by [channel_base]. *)

@@ -1,0 +1,101 @@
+(* Barrier channels: the signal fabric the primitives compile to.
+
+   Every rank owns [channels_per_rank] producer/consumer channels plus
+   [peer_channels] peer channels per remote rank, plus one host channel.
+   A channel is a monotonic counter in NVSHMEM-style symmetric memory;
+   notifies are release-stores, waits are acquire-loads (the simulator
+   realizes them as waitable counters). *)
+
+type t = {
+  world_size : int;
+  channels_per_rank : int;
+  (* producer/consumer channels: [rank].(channel) *)
+  pc : Tilelink_sim.Counter.t array array;
+  (* peer channels: [dst_rank].(src_rank).(channel) *)
+  peer : Tilelink_sim.Counter.t array array array;
+  (* host channels: [dst_rank].(src_rank) *)
+  host : Tilelink_sim.Counter.t array array;
+}
+
+let create ~world_size ~channels_per_rank ?(peer_channels = 1) () =
+  if world_size <= 0 then invalid_arg "Channel.create: world_size";
+  if channels_per_rank <= 0 then
+    invalid_arg "Channel.create: channels_per_rank";
+  let mk name = Tilelink_sim.Counter.create ~name () in
+  {
+    world_size;
+    channels_per_rank;
+    pc =
+      Array.init world_size (fun r ->
+          Array.init channels_per_rank (fun c ->
+              mk (Printf.sprintf "pc[%d][%d]" r c)));
+    peer =
+      Array.init world_size (fun dst ->
+          Array.init world_size (fun src ->
+              Array.init peer_channels (fun c ->
+                  mk (Printf.sprintf "peer[%d<-%d][%d]" dst src c))));
+    host =
+      Array.init world_size (fun dst ->
+          Array.init world_size (fun src ->
+              mk (Printf.sprintf "host[%d<-%d]" dst src)));
+  }
+
+let world_size t = t.world_size
+let channels_per_rank t = t.channels_per_rank
+
+let check_rank t r label =
+  if r < 0 || r >= t.world_size then
+    invalid_arg (Printf.sprintf "Channel.%s: rank %d out of range" label r)
+
+let check_channel t c label =
+  if c < 0 || c >= t.channels_per_rank then
+    invalid_arg (Printf.sprintf "Channel.%s: channel %d out of range" label c)
+
+(* Producer/consumer channel on [rank]. *)
+let pc_notify t ~rank ~channel ~amount =
+  check_rank t rank "pc_notify";
+  check_channel t channel "pc_notify";
+  Tilelink_sim.Counter.add t.pc.(rank).(channel) amount
+
+let pc_wait t ~rank ~channel ~threshold =
+  check_rank t rank "pc_wait";
+  check_channel t channel "pc_wait";
+  Tilelink_sim.Counter.await_ge t.pc.(rank).(channel) threshold
+
+let pc_value t ~rank ~channel =
+  check_rank t rank "pc_value";
+  check_channel t channel "pc_value";
+  Tilelink_sim.Counter.value t.pc.(rank).(channel)
+
+(* Peer channel: [src] signals [dst]. *)
+let peer_notify t ~src ~dst ?(channel = 0) ~amount () =
+  check_rank t src "peer_notify";
+  check_rank t dst "peer_notify";
+  Tilelink_sim.Counter.add t.peer.(dst).(src).(channel) amount
+
+let peer_wait t ~src ~dst ?(channel = 0) ~threshold () =
+  check_rank t src "peer_wait";
+  check_rank t dst "peer_wait";
+  Tilelink_sim.Counter.await_ge t.peer.(dst).(src).(channel) threshold
+
+let peer_value t ~src ~dst ?(channel = 0) () =
+  Tilelink_sim.Counter.value t.peer.(dst).(src).(channel)
+
+(* Host channel: copy-engine completion signalled to [dst]'s kernels. *)
+let host_notify t ~src ~dst ~amount =
+  check_rank t src "host_notify";
+  check_rank t dst "host_notify";
+  Tilelink_sim.Counter.add t.host.(dst).(src) amount
+
+let host_wait t ~src ~dst ~threshold =
+  check_rank t src "host_wait";
+  check_rank t dst "host_wait";
+  Tilelink_sim.Counter.await_ge t.host.(dst).(src) threshold
+
+let total_notifies t =
+  let sum = ref 0 in
+  let count c = sum := !sum + Tilelink_sim.Counter.notify_count c in
+  Array.iter (Array.iter count) t.pc;
+  Array.iter (Array.iter (Array.iter count)) t.peer;
+  Array.iter (Array.iter count) t.host;
+  !sum

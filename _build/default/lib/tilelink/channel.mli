@@ -1,0 +1,28 @@
+(** Barrier channels: the signal fabric tile-centric primitives compile
+    to (NVSHMEM-style symmetric counters with release/acquire
+    semantics). *)
+
+type t
+
+val create :
+  world_size:int -> channels_per_rank:int -> ?peer_channels:int -> unit -> t
+
+val world_size : t -> int
+val channels_per_rank : t -> int
+
+val pc_notify : t -> rank:int -> channel:int -> amount:int -> unit
+val pc_wait : t -> rank:int -> channel:int -> threshold:int -> unit
+val pc_value : t -> rank:int -> channel:int -> int
+
+val peer_notify :
+  t -> src:int -> dst:int -> ?channel:int -> amount:int -> unit -> unit
+
+val peer_wait :
+  t -> src:int -> dst:int -> ?channel:int -> threshold:int -> unit -> unit
+
+val peer_value : t -> src:int -> dst:int -> ?channel:int -> unit -> int
+
+val host_notify : t -> src:int -> dst:int -> amount:int -> unit
+val host_wait : t -> src:int -> dst:int -> threshold:int -> unit
+
+val total_notifies : t -> int

@@ -1,0 +1,102 @@
+(* Memory-consistency verification (paper §4.2).
+
+   The notify primitives carry release semantics: no write to a
+   released range may appear after the notify.  The wait primitives
+   carry acquire semantics: no read of a guarded range may appear
+   before the wait.  Compiler passes (pipelining in particular) reorder
+   instructions; this verifier checks that a transformed stream still
+   honors both rules, so a broken pass is caught at compile time
+   instead of as silent data corruption. *)
+
+type violation = {
+  position : int;
+  instr : string;
+  rule : string;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "instr %d (%s): %s" v.position v.instr v.rule
+
+(* Acquire rule: a read of access [a] at position [i] must come after
+   every Wait guarding an overlapping range.  Release rule: a write of
+   access [a] at position [i] must come before every Notify releasing
+   an overlapping range. *)
+let verify_task (instrs : Instr.t list) : (unit, violation) result =
+  let arr = Array.of_list instrs in
+  let n = Array.length arr in
+  let violation = ref None in
+  let record position instr rule =
+    if !violation = None then Some { position; instr; rule } |> fun v ->
+      violation := v
+  in
+  for i = 0 to n - 1 do
+    (* Reads before a later guarding Wait. *)
+    let reads = Instr.reads_of arr.(i) in
+    if reads <> [] then
+      for j = i + 1 to n - 1 do
+        match arr.(j) with
+        | Instr.Wait { guards; _ } ->
+          if
+            List.exists
+              (fun g ->
+                List.exists (fun r -> Instr.accesses_overlap g r) reads)
+              guards
+          then
+            record i
+              (Instr.to_string arr.(i))
+              (Printf.sprintf
+                 "read executes before its acquire fence at instr %d (%s)" j
+                 (Instr.to_string arr.(j)))
+        | _ -> ()
+      done;
+    (* Writes after an earlier releasing Notify. *)
+    let writes = Instr.writes_of arr.(i) in
+    if writes <> [] then
+      for j = 0 to i - 1 do
+        match arr.(j) with
+        | Instr.Notify { releases; _ } ->
+          if
+            List.exists
+              (fun rel ->
+                List.exists (fun w -> Instr.accesses_overlap rel w) writes)
+              releases
+          then
+            record i
+              (Instr.to_string arr.(i))
+              (Printf.sprintf
+                 "write executes after its release fence at instr %d (%s)" j
+                 (Instr.to_string arr.(j)))
+        | _ -> ()
+      done
+  done;
+  match !violation with None -> Ok () | Some v -> Error v
+
+let verify_role (role : Program.role) =
+  let rec check = function
+    | [] -> Ok ()
+    | (task : Program.task) :: rest -> (
+      match verify_task task.Program.instrs with
+      | Ok () -> check rest
+      | Error v ->
+        Error { v with rule = task.Program.label ^ ": " ^ v.rule })
+  in
+  check role.Program.tasks
+
+let verify_program (p : Program.t) =
+  let result = ref (Ok ()) in
+  Array.iter
+    (fun plan ->
+      List.iter
+        (fun role ->
+          match !result with
+          | Error _ -> ()
+          | Ok () -> (
+            match verify_role role with
+            | Ok () -> ()
+            | Error v ->
+              result :=
+                Error
+                  { v with rule = role.Program.role_name ^ ": " ^ v.rule }))
+        plan)
+    (Program.plans p);
+  !result

@@ -1,0 +1,14 @@
+(** Memory-consistency verification: acquire/release ordering of
+    instruction streams (catches broken compiler passes). *)
+
+type violation = {
+  position : int;
+  instr : string;
+  rule : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val verify_task : Instr.t list -> (unit, violation) result
+val verify_role : Program.role -> (unit, violation) result
+val verify_program : Program.t -> (unit, violation) result

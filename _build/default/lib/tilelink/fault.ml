@@ -1,0 +1,122 @@
+(* Fault injection: program transformations that model signalling bugs
+   and timing skew.
+
+   The value of an overlapped-kernel compiler rests on its
+   synchronization being exactly right, so the test suite does not just
+   check the happy path: these transformations produce *broken or
+   skewed* variants of real programs, and tests assert that the
+   runtime's deadlock detector catches lost signals, that premature
+   waits surface as wrong data, and that pure delays never affect
+   results (only time). *)
+
+let map_rank_tasks (program : Program.t) ~rank ~f =
+  let plans =
+    Array.mapi
+      (fun r plan ->
+        if r <> rank then plan
+        else
+          List.map
+            (fun role -> { role with Program.tasks = f role.Program.tasks })
+            plan)
+      (Program.plans program)
+  in
+  Program.create
+    ~name:(Program.name program ^ "+fault")
+    ~world_size:(Program.world_size program)
+    ~pc_channels:program.Program.pc_channels
+    ~peer_channels:program.Program.peer_channels plans
+
+(* Drop the [nth] Notify instruction (0-based, in task order) on
+   [rank]: a lost signal.  Consumers of that signal wait forever and
+   the engine reports a deadlock instead of hanging. *)
+let drop_notify (program : Program.t) ~rank ~nth =
+  let seen = ref 0 in
+  map_rank_tasks program ~rank ~f:(fun tasks ->
+      List.map
+        (fun (task : Program.task) ->
+          {
+            task with
+            Program.instrs =
+              List.filter
+                (fun instr ->
+                  match instr with
+                  | Instr.Notify _ ->
+                    let keep = !seen <> nth in
+                    incr seen;
+                    keep
+                  | _ -> true)
+                task.Program.instrs;
+          })
+        tasks)
+
+(* Weaken every Wait on [rank] by [delta]: the consumer stops waiting
+   for the last [delta] producer signals of each channel and may read
+   data that has not arrived.  On a machine where transfers are slow
+   this surfaces as wrong results — which is precisely what the tests
+   assert. *)
+let weaken_waits (program : Program.t) ~rank ~delta =
+  if delta <= 0 then invalid_arg "Fault.weaken_waits: delta must be > 0";
+  map_rank_tasks program ~rank ~f:(fun tasks ->
+      List.map
+        (fun (task : Program.task) ->
+          {
+            task with
+            Program.instrs =
+              List.map
+                (fun instr ->
+                  match instr with
+                  | Instr.Wait { target; threshold; guards } ->
+                    Instr.Wait
+                      { target; threshold = max 0 (threshold - delta); guards }
+                  | instr -> instr)
+                task.Program.instrs;
+          })
+        tasks)
+
+(* Prepend a fixed delay to every task of the named role on [rank]:
+   timing skew.  A correct program must produce identical data (only
+   the makespan may change). *)
+let delay_role (program : Program.t) ~rank ~role_name ~us =
+  if us < 0.0 then invalid_arg "Fault.delay_role: negative delay";
+  let plans =
+    Array.mapi
+      (fun r plan ->
+        if r <> rank then plan
+        else
+          List.map
+            (fun role ->
+              if role.Program.role_name <> role_name then role
+              else
+                {
+                  role with
+                  Program.tasks =
+                    List.map
+                      (fun (task : Program.task) ->
+                        {
+                          task with
+                          Program.instrs =
+                            Instr.Sleep us :: task.Program.instrs;
+                        })
+                      role.Program.tasks;
+                })
+            plan)
+      (Program.plans program)
+  in
+  Program.create
+    ~name:(Program.name program ^ "+skew")
+    ~world_size:(Program.world_size program)
+    ~pc_channels:program.Program.pc_channels
+    ~peer_channels:program.Program.peer_channels plans
+
+let count_notifies (program : Program.t) ~rank =
+  List.fold_left
+    (fun acc role ->
+      List.fold_left
+        (fun acc (task : Program.task) ->
+          List.fold_left
+            (fun acc instr ->
+              match instr with Instr.Notify _ -> acc + 1 | _ -> acc)
+            acc task.Program.instrs)
+        acc role.Program.tasks)
+    0
+    (Program.plans program).(rank)

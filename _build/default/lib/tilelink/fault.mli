@@ -1,0 +1,18 @@
+(** Fault injection: broken or skewed variants of real programs, for
+    testing that lost signals deadlock (and are detected), premature
+    waits corrupt data (and are caught by validation), and pure delays
+    never change results. *)
+
+val drop_notify : Program.t -> rank:int -> nth:int -> Program.t
+(** Remove the [nth] Notify instruction (0-based, task order) on
+    [rank]: a lost signal. *)
+
+val weaken_waits : Program.t -> rank:int -> delta:int -> Program.t
+(** Lower every Wait threshold on [rank] by [delta] (floored at 0):
+    consumers stop waiting for the last [delta] signals. *)
+
+val delay_role : Program.t -> rank:int -> role_name:string -> us:float -> Program.t
+(** Prepend a fixed delay to every task of one role: timing skew that
+    must not affect results. *)
+
+val count_notifies : Program.t -> rank:int -> int

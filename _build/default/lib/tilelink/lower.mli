@@ -1,0 +1,12 @@
+(** Backend lowering: frontend primitives -> device instructions,
+    resolved through a tile-centric mapping. *)
+
+type config = {
+  mapping : Mapping.t;
+  rank : int;
+  world_size : int;
+}
+
+val bytes_of_access : Instr.access -> float
+val lower_stmt : config -> Primitive.t -> Instr.t list
+val lower : config -> Primitive.t list -> Instr.t list

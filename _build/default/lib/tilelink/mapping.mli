@@ -1,0 +1,57 @@
+(** Tile-centric mapping (f_S, f_R, f_C): static affine or dynamic
+    lookup-table mappings from tile ids to shape ranges, ranks and
+    barrier channels. *)
+
+type t
+
+val static :
+  ?multiplicity:int ->
+  extent:int ->
+  ranks:int ->
+  channels_per_rank:int ->
+  tile:int ->
+  unit ->
+  t
+(** Affine mapping for an [extent]-row tensor sharded evenly over
+    [ranks], with producer tiles of [tile] rows.  Requires the shard to
+    divide across channels and the tile to fit inside one channel
+    segment.  [multiplicity] (default 1) scales the per-channel
+    completion threshold — use it when a 2-D producer grid notifies its
+    row channel once per column tile. *)
+
+val dynamic :
+  ?f_src_low:int array ->
+  ranks:int ->
+  channels_per_rank:int ->
+  f_s_low:int array ->
+  f_s_high:int array ->
+  f_r:int array ->
+  f_c:int array ->
+  unit ->
+  t
+(** Lookup-table mapping (values filled at runtime by e.g. MoE
+    routing); [f_c] holds global channel ids. *)
+
+val is_dynamic : t -> bool
+val num_tiles : t -> int
+val num_channels : t -> int
+val ranks : t -> int
+val channels_per_rank : t -> int
+
+val shape_range : t -> tid:int -> int * int
+val rank_of : t -> tid:int -> int
+val channel_of : t -> tid:int -> int
+val split_channel : t -> int -> int * int
+val expected : t -> channel:int -> int
+
+val src_shard_range : t -> tid:int -> int * int
+(** Shard-local rows of a producer tile on its owning rank. *)
+
+val channels_for_range : t -> lo:int -> hi:int -> (int * int) list
+(** Channels (with completion thresholds) a consumer of global rows
+    [lo, hi) must wait on. *)
+
+val ranks_for_range : t -> lo:int -> hi:int -> int list
+(** Ranks owning any row of [lo, hi). *)
+
+val pp : Format.formatter -> t -> unit

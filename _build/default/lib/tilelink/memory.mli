@@ -1,0 +1,14 @@
+(** Per-rank named buffer store (simulated device memories). *)
+
+open Tilelink_tensor
+
+type t
+
+val create : world_size:int -> t
+val world_size : t -> int
+val alloc : t -> rank:int -> name:string -> Shape.t -> Tensor.t
+val bind : t -> rank:int -> name:string -> Tensor.t -> unit
+val find : t -> rank:int -> name:string -> Tensor.t
+val mem : t -> rank:int -> name:string -> bool
+val alloc_symmetric : t -> name:string -> Shape.t -> unit
+val buffers : t -> rank:int -> string list

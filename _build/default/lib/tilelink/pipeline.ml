@@ -1,0 +1,83 @@
+(* Software pipelining (paper §4.2).
+
+   Multi-stage pipelines hoist [Load] instructions earlier in a task's
+   instruction stream so data for iteration k+1 is in flight while
+   iteration k computes.  A hoisted load must never cross:
+
+   - a [Wait] whose guards overlap the load's access (the acquire fence
+     that makes the data valid), nor
+   - any instruction that *writes* an overlapping access (true
+     dependency), nor
+   - a [Copy] whose destination overlaps (same reason).
+
+   [hoist_loads ~stages] moves each load up by at most [stages - 1]
+   eligible slots.  [hoist_loads_unsafe] ignores acquire fences — the
+   deliberately broken pipeliner the consistency verifier must catch
+   (see test_consistency.ml). *)
+
+let blocks_load ~respect_fences load_access instr =
+  let writes = Instr.writes_of instr in
+  let write_conflict =
+    List.exists (fun w -> Instr.accesses_overlap w load_access) writes
+  in
+  let fence_conflict =
+    respect_fences
+    &&
+    match instr with
+    | Instr.Wait { guards; _ } ->
+      List.exists (fun g -> Instr.accesses_overlap g load_access) guards
+    | _ -> false
+  in
+  write_conflict || fence_conflict
+
+(* Move one instruction at index [i] up by at most [budget] positions,
+   stopping at the first blocking instruction. *)
+let hoist_one ~respect_fences arr i budget =
+  let access =
+    match arr.(i) with
+    | Instr.Load { access } -> Some access
+    | _ -> None
+  in
+  match access with
+  | None -> ()
+  | Some access ->
+    let j = ref i in
+    let moved = ref 0 in
+    while
+      !j > 0 && !moved < budget
+      && not (blocks_load ~respect_fences access arr.(!j - 1))
+    do
+      let tmp = arr.(!j - 1) in
+      arr.(!j - 1) <- arr.(!j);
+      arr.(!j) <- tmp;
+      decr j;
+      incr moved
+    done
+
+let hoist ~respect_fences ~stages instrs =
+  if stages < 1 then invalid_arg "Pipeline: stages must be >= 1";
+  let budget = stages - 1 in
+  if budget = 0 then instrs
+  else begin
+    let arr = Array.of_list instrs in
+    for i = 0 to Array.length arr - 1 do
+      hoist_one ~respect_fences arr i budget
+    done;
+    Array.to_list arr
+  end
+
+let hoist_loads ~stages instrs = hoist ~respect_fences:true ~stages instrs
+
+let hoist_loads_unsafe ~stages instrs =
+  hoist ~respect_fences:false ~stages instrs
+
+let pipeline_task ~stages (task : Program.task) =
+  { task with Program.instrs = hoist_loads ~stages task.Program.instrs }
+
+let pipeline_role ~stages (role : Program.role) =
+  { role with Program.tasks = List.map (pipeline_task ~stages) role.Program.tasks }
+
+let pipeline_program ~stages (p : Program.t) =
+  Program.create ~name:(Program.name p) ~world_size:(Program.world_size p)
+    ~pc_channels:p.Program.pc_channels ~peer_channels:p.Program.peer_channels
+    (Array.map (List.map (pipeline_role ~stages)) (Program.plans p))

@@ -1,0 +1,14 @@
+(** Software pipelining: hoist loads for multi-stage execution without
+    crossing acquire fences or true dependencies. *)
+
+val hoist_loads : stages:int -> Instr.t list -> Instr.t list
+(** Move each load up by at most [stages - 1] eligible slots,
+    respecting acquire fences and write conflicts. *)
+
+val hoist_loads_unsafe : stages:int -> Instr.t list -> Instr.t list
+(** Broken variant that ignores acquire fences — exists so tests can
+    demonstrate the consistency verifier catching it. *)
+
+val pipeline_task : stages:int -> Program.task -> Program.task
+val pipeline_role : stages:int -> Program.role -> Program.role
+val pipeline_program : stages:int -> Program.t -> Program.t

@@ -1,0 +1,109 @@
+(* Frontend tile-centric primitives (paper §3.2, Table 3).
+
+   A kernel author writes per-tile statement lists mixing ordinary
+   loads/stores/compute with these primitives; the backend ([Lower])
+   resolves them against a tile-centric [Mapping] into low-level
+   [Instr] streams with acquire/release fences.
+
+   Signal primitives:
+   - [Producer_tile_notify]   producer tile done -> consumer channel
+   - [Consumer_tile_wait]     block until producer tiles covering a
+                              row range are done
+   - [Peer_tile_notify/wait]  same-operator tiles across ranks
+   - [Rank_notify/wait]       host-side barriers for the copy engine
+   Data primitives:
+   - [Tile_push_data]         device copy of one tile to a peer
+   - [Tile_pull_data]         device copy of one tile from the rank the
+                              mapping assigns to the tile id
+   - [Rank_copy_data]         host-issued copy-engine transfer *)
+
+type notify_mode =
+  | P2p
+      (** Notify the single consumer of this tile — the executing rank
+          (pull-mode gathers and local producer/consumer chains). *)
+  | Owner
+      (** Notify the rank owning the tile's data segment (push-mode
+          scatters). *)
+  | Broadcast  (** Notify every rank (push-mode all-gathers). *)
+  | To_rank of int  (** Explicit target. *)
+
+type t =
+  | Load of Instr.access
+  | Store of Instr.access
+  | Compute of {
+      label : string;
+      cost : Instr.cost;
+      reads : Instr.access list;
+      writes : Instr.access list;
+      action : Instr.action option;
+    }
+  | Producer_tile_notify of { tid : int; mode : notify_mode }
+  | Consumer_tile_wait of {
+      lo : int;
+      hi : int;  (** global row range the consumer is about to read *)
+      buffer : string;  (** gathered buffer the wait guards *)
+      col : Instr.range;
+    }
+  | Consumer_tile_wait_rows of {
+      rows : int list;
+          (** scattered global rows (dynamic gathers: MoE tokens);
+              lowering dedupes the covering channel set *)
+      buffer : string;
+      col : Instr.range;
+    }
+  | Peer_tile_notify of {
+      tile_key : int;
+      dst : int;
+      amount : int;
+      releases : Instr.access list;
+    }
+  | Peer_tile_wait of {
+      tile_key : int;
+      src : int;
+      threshold : int;
+      guards : Instr.access list;
+    }
+  | Rank_notify of { dst : int; amount : int }
+  | Rank_wait of { src : int; threshold : int }
+  | Tile_push_data of {
+      src : Instr.access;
+      dst_rank : int;
+      dst : Instr.access;
+    }
+  | Tile_pull_data of {
+      tid : int;  (** producer tile id; mapping gives rank and rows *)
+      src_buffer : string;
+      src_view : [ `Shard | `Global ];
+          (** [`Shard]: remote buffer indexed shard-locally, rows are
+              translated; [`Global]: remote buffer uses global rows. *)
+      col : Instr.range;
+      dst : Instr.access;
+      action : Instr.action option;
+    }
+  | Rank_copy_data of { src : Instr.access; dst : Instr.access;
+                        action : Instr.action option }
+  | Sleep of float
+
+let to_string = function
+  | Load a -> Instr.to_string (Instr.Load { access = a })
+  | Store a -> Instr.to_string (Instr.Store { access = a })
+  | Compute { label; _ } -> Printf.sprintf "compute %s" label
+  | Producer_tile_notify { tid; _ } ->
+    Printf.sprintf "producer_tile_notify(%d)" tid
+  | Consumer_tile_wait { lo; hi; _ } ->
+    Printf.sprintf "consumer_tile_wait[%d:%d]" lo hi
+  | Consumer_tile_wait_rows { rows; _ } ->
+    Printf.sprintf "consumer_tile_wait_rows(%d rows)" (List.length rows)
+  | Peer_tile_notify { tile_key; dst; _ } ->
+    Printf.sprintf "peer_tile_notify(%d -> r%d)" tile_key dst
+  | Peer_tile_wait { tile_key; src; _ } ->
+    Printf.sprintf "peer_tile_wait(%d <- r%d)" tile_key src
+  | Rank_notify { dst; _ } -> Printf.sprintf "rank_notify(r%d)" dst
+  | Rank_wait { src; _ } -> Printf.sprintf "rank_wait(r%d)" src
+  | Tile_push_data { dst_rank; _ } ->
+    Printf.sprintf "tile_push_data(-> r%d)" dst_rank
+  | Tile_pull_data { tid; _ } -> Printf.sprintf "tile_pull_data(%d)" tid
+  | Rank_copy_data _ -> "rank_copy_data"
+  | Sleep d -> Printf.sprintf "sleep %.2f" d
+
+let pp ppf t = Fmt.string ppf (to_string t)

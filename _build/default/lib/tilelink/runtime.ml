@@ -1,0 +1,261 @@
+(* Program interpreter: executes a lowered program on a simulated
+   cluster.
+
+   One interpreter serves both backends of the reproduction:
+   - timing: every instruction charges its cost model duration, SM and
+     DMA workers contend for their pools, copies queue on links — the
+     makespan is the kernel time reported in benchmarks;
+   - data (optional): [Copy] and [Compute] instructions additionally
+     mutate the per-rank tensor memories, so the same schedule is
+     checked for numerical correctness against references. *)
+
+open Tilelink_sim
+open Tilelink_machine
+
+type result = {
+  makespan : float;
+  channels : Channel.t;
+  memory : Memory.t;
+  notifies : int;
+}
+
+let resolve_rank ~self = function Some r -> r | None -> self
+
+(* Default data semantics of a Copy: blit the source block into the
+   destination block. *)
+let default_copy_action (src : Instr.access) (dst : Instr.access) memory
+    ~rank =
+  let open Tilelink_tensor in
+  let src_rank = resolve_rank ~self:rank src.Instr.mem_rank in
+  let dst_rank = resolve_rank ~self:rank dst.Instr.mem_rank in
+  let src_tensor = Memory.find memory ~rank:src_rank ~name:src.Instr.buffer in
+  let dst_tensor = Memory.find memory ~rank:dst_rank ~name:dst.Instr.buffer in
+  let block =
+    Tensor.block src_tensor ~row_lo:(fst src.Instr.row)
+      ~row_hi:(snd src.Instr.row) ~col_lo:(fst src.Instr.col)
+      ~col_hi:(snd src.Instr.col)
+  in
+  Tensor.set_block dst_tensor ~row_lo:(fst dst.Instr.row)
+    ~col_lo:(fst dst.Instr.col) block
+
+let cost_duration (spec : Spec.t) ~sms = function
+  | Instr.Gemm_tile { tm; tn; k } -> Cost.gemm_tile_time spec ~tm ~tn ~k
+  | Instr.Attention_tile { tq; tkv; d } ->
+    Cost.attention_tile_time spec ~tq ~tkv ~d
+  | Instr.Memory_tile { rows; cols; passes } ->
+    Cost.memory_tile_time spec ~sms ~rows ~cols ~passes
+  | Instr.Fixed_cost d -> d
+  | Instr.Free -> 0.0
+
+let exec_wait channels ~rank:_ (target : Instr.signal_target) ~threshold =
+  match target with
+  | Instr.Pc { rank; channel } ->
+    Channel.pc_wait channels ~rank ~channel ~threshold
+  | Instr.Peer { src; dst; channel } ->
+    Channel.peer_wait channels ~src ~dst ~channel ~threshold ()
+  | Instr.Host { src; dst } -> Channel.host_wait channels ~src ~dst ~threshold
+
+let exec_notify channels ~rank:_ (target : Instr.signal_target) ~amount =
+  match target with
+  | Instr.Pc { rank; channel } ->
+    Channel.pc_notify channels ~rank ~channel ~amount
+  | Instr.Peer { src; dst; channel } ->
+    Channel.peer_notify channels ~src ~dst ~channel ~amount ()
+  | Instr.Host { src; dst } -> Channel.host_notify channels ~src ~dst ~amount
+
+(* Execute one instruction on behalf of [rank], on a worker of a role
+   bound to [lane].  [worker_sms] is how many SMs this worker stands
+   for (1 for an SM worker, irrelevant for DMA/host).  [interference]
+   multiplies compute durations when a fused kernel also runs
+   communication on the same chip. *)
+let exec_instr cluster channels memory ~data ~rank ~lane ~worker_sms
+    ~comm_active ~pending_loads ~label instr =
+  let spec = Cluster.spec cluster in
+  let trace = Cluster.trace cluster in
+  let now () = Cluster.now cluster in
+  match instr with
+  | Instr.Load { access } ->
+    (* Loads issue asynchronously (cp.async / TMA): they complete
+       [load_latency] after issue.  A consumer stalls only if it reads
+       the data before then — which multi-stage pipelining avoids by
+       hoisting the load ahead of the previous tile's compute. *)
+    if spec.Spec.gpu.load_latency > 0.0 then begin
+      let t = now () in
+      pending_loads :=
+        (access, t +. spec.Spec.gpu.load_latency)
+        :: List.filter (fun (_, ready) -> ready > t) !pending_loads
+    end
+  | Instr.Store _ -> ()
+  | Instr.Sleep d -> Process.wait d
+  | Instr.Compute { label = clabel; cost; reads; action; _ } ->
+    let ready =
+      List.fold_left
+        (fun acc (access, ready) ->
+          if List.exists (Instr.accesses_overlap access) reads then
+            Float.max acc ready
+          else acc)
+        (now ()) !pending_loads
+    in
+    if ready > now () then Process.wait (ready -. now ());
+    (* Fusion interference applies only while a communication role is
+       actually running on this rank: L2 pollution, scheduler and HBM
+       contention vanish once the comm side drains. *)
+    let interference =
+      if !comm_active > 0 then spec.Spec.overheads.fusion_interference
+      else 1.0
+    in
+    let duration = cost_duration spec ~sms:worker_sms cost *. interference in
+    let t0 = now () in
+    if duration > 0.0 then Process.wait duration;
+    Trace.add trace ~rank ~lane ~label:clabel ~t0 ~t1:(now ());
+    if data then Option.iter (fun act -> act memory ~rank) action
+  | Instr.Copy { label = clabel; src; dst; bytes; action } ->
+    let src_rank = resolve_rank ~self:rank src.Instr.mem_rank in
+    let dst_rank = resolve_rank ~self:rank dst.Instr.mem_rank in
+    let t0 = now () in
+    if src_rank = dst_rank then begin
+      (* Local move: a round trip through HBM at full bandwidth share —
+         bulk copies saturate HBM regardless of the issuing unit. *)
+      let duration =
+        Cost.memory_pass_time spec ~sms:spec.Spec.gpu.num_sms
+          ~bytes:(2.0 *. bytes)
+      in
+      if duration > 0.0 then Process.wait duration
+    end
+    else Cluster.transfer cluster ~src:src_rank ~dst:dst_rank ~bytes;
+    Trace.add trace ~rank ~lane ~label:clabel ~t0 ~t1:(now ());
+    if data then begin
+      match action with
+      | Some act -> act memory ~rank
+      | None -> default_copy_action src dst memory ~rank
+    end
+  | Instr.Wait { target; threshold; _ } ->
+    let t0 = now () in
+    if spec.Spec.overheads.signal_wait > 0.0 then
+      Process.wait spec.Spec.overheads.signal_wait;
+    exec_wait channels ~rank target ~threshold;
+    let t1 = now () in
+    if t1 > t0 then
+      Trace.add trace ~rank ~lane:Trace.Wait ~label ~t0 ~t1
+  | Instr.Notify { target; amount; _ } ->
+    (* Release atomic + memory fence before the signal is visible. *)
+    if spec.Spec.overheads.signal_notify > 0.0 then
+      Process.wait spec.Spec.overheads.signal_notify;
+    exec_notify channels ~rank target ~amount
+
+(* A task's leading waits/loads execute before the worker occupies an
+   execution unit: a CTA is only scheduled once its dependencies are
+   satisfied (stream-ordered concurrent kernels), so a blocked consumer
+   does not hold an SM hostage while its producer needs one. *)
+let split_leading_waits instrs =
+  let rec go prefix = function
+    | (Instr.Wait _ | Instr.Sleep _ | Instr.Load _) as instr :: rest ->
+      go (instr :: prefix) rest
+    | rest -> (List.rev prefix, rest)
+  in
+  go [] instrs
+
+(* A worker repeatedly takes the next task from the role's shared
+   queue, acquiring one unit of [unit_pool] per task; wave scheduling
+   (ceil(tiles / workers) waves) and dynamic sharing of idle units
+   across roles both emerge. *)
+let worker_body cluster channels memory ~data ~rank ~lane ~worker_sms
+    ~comm_active ~unit_pool queue () =
+  let pending_loads = ref [] in
+  let exec =
+    exec_instr cluster channels memory ~data ~rank ~lane ~worker_sms
+      ~comm_active ~pending_loads
+  in
+  let rec loop () =
+    match
+      match !queue with
+      | [] -> None
+      | task :: rest ->
+        queue := rest;
+        Some task
+    with
+    | None -> ()
+    | Some (task : Program.task) ->
+      let label = task.Program.label in
+      let leading, body = split_leading_waits task.Program.instrs in
+      List.iter (exec ~label) leading;
+      (match unit_pool with
+      | None -> List.iter (exec ~label) body
+      | Some pool ->
+        Resource.use pool 1 (fun () -> List.iter (exec ~label) body));
+      loop ()
+  in
+  loop ()
+
+let is_comm_lane = function
+  | Trace.Comm_sm | Trace.Dma | Trace.Host | Trace.Link -> true
+  | Trace.Compute_sm | Trace.Wait -> false
+
+let run_role cluster channels memory ~data ~rank ~comm_active
+    (role : Program.role) () =
+  let spec = Cluster.spec cluster in
+  let cluster_rank = Cluster.rank cluster rank in
+  (* Kernel launch latency before the role's work becomes visible. *)
+  Process.wait spec.overheads.kernel_launch;
+  let comm_role = is_comm_lane role.Program.lane in
+  if comm_role then incr comm_active;
+  Fun.protect ~finally:(fun () -> if comm_role then decr comm_active)
+  @@ fun () ->
+  let run_workers count unit_pool =
+    let queue = ref role.Program.tasks in
+    let join =
+      Process.spawn_all (Cluster.engine cluster)
+        (List.init count (fun _ ->
+             worker_body cluster channels memory ~data ~rank
+               ~lane:role.Program.lane ~worker_sms:1 ~comm_active
+               ~unit_pool queue))
+    in
+    Process.Join.wait join
+  in
+  match role.Program.resource with
+  | Program.Sm_partition count ->
+    run_workers count (Some cluster_rank.Cluster.sms)
+  | Program.Dma_engines count ->
+    run_workers count (Some cluster_rank.Cluster.dma)
+  | Program.Host_stream ->
+    let queue = ref role.Program.tasks in
+    worker_body cluster channels memory ~data ~rank
+      ~lane:role.Program.lane ~worker_sms:1 ~comm_active ~unit_pool:None
+      queue ()
+
+let run ?(data = false) ?memory cluster (program : Program.t) =
+  (match Program.validate program with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Runtime.run: invalid program: " ^ msg));
+  if Cluster.world_size cluster <> Program.world_size program then
+    invalid_arg "Runtime.run: cluster/program world size mismatch";
+  let memory =
+    match memory with
+    | Some m -> m
+    | None -> Memory.create ~world_size:(Program.world_size program)
+  in
+  let channels =
+    Channel.create
+      ~world_size:(Program.world_size program)
+      ~channels_per_rank:program.Program.pc_channels
+      ~peer_channels:program.Program.peer_channels ()
+  in
+  let start = Cluster.now cluster in
+  Array.iteri
+    (fun rank plan ->
+      (* Tracks how many communication roles are live on this rank;
+         compute tiles pay the interference factor while it is > 0. *)
+      let comm_active = ref 0 in
+      List.iter
+        (fun role ->
+          Process.spawn (Cluster.engine cluster)
+            (run_role cluster channels memory ~data ~rank ~comm_active role))
+        plan)
+    (Program.plans program);
+  Engine.run (Cluster.engine cluster);
+  {
+    makespan = Cluster.now cluster -. start;
+    channels;
+    memory;
+    notifies = Channel.total_notifies channels;
+  }

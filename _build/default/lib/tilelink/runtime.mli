@@ -1,0 +1,17 @@
+(** Program interpreter on a simulated cluster: timing always, real
+    tensor data optionally. *)
+
+type result = {
+  makespan : float;  (** µs from run start to completion *)
+  channels : Channel.t;
+  memory : Memory.t;
+  notifies : int;
+}
+
+val run :
+  ?data:bool -> ?memory:Memory.t -> Tilelink_machine.Cluster.t ->
+  Program.t -> result
+(** Execute the program to completion.  With [~data:true], [Copy] and
+    [Compute] instructions also mutate [memory] (defaults to a fresh
+    empty memory).  Raises on invalid programs; a schedule with missing
+    signals raises {!Tilelink_sim.Engine.Deadlock}. *)

@@ -1,0 +1,48 @@
+(* Design-space search.
+
+   TileLink's performance numbers come from picking the best point of
+   the decoupled design space under the simulator — exactly the role
+   autotuning plays for the real compiler.  Candidates that fail to
+   build (invalid tile/extent combinations) or deadlock are skipped. *)
+
+type 'a evaluation = {
+  candidate : 'a;
+  config : Design_space.config;
+  time : float;
+}
+
+type 'a outcome = {
+  best : 'a evaluation;
+  evaluated : 'a evaluation list;
+  skipped : int;
+}
+
+let search ~configs ~build ~evaluate =
+  let evaluated = ref [] in
+  let skipped = ref 0 in
+  List.iter
+    (fun config ->
+      match build config with
+      | exception Invalid_argument _ -> incr skipped
+      | candidate -> (
+        match evaluate candidate with
+        | exception Invalid_argument _ -> incr skipped
+        | exception Tilelink_sim.Engine.Deadlock _ -> incr skipped
+        | time -> evaluated := { candidate; config; time } :: !evaluated))
+    configs;
+  match !evaluated with
+  | [] -> None
+  | evaluations ->
+    let best =
+      List.fold_left
+        (fun acc e -> if e.time < acc.time then e else acc)
+        (List.hd evaluations) evaluations
+    in
+    Some { best; evaluated = List.rev evaluations; skipped = !skipped }
+
+(* Convenience for program-valued candidates: simulate on a fresh
+   cluster per candidate (simulated clusters are single-shot). *)
+let search_programs ~configs ~build ~make_cluster =
+  search ~configs ~build ~evaluate:(fun program ->
+      let cluster = make_cluster () in
+      (Runtime.run cluster program).Runtime.makespan)

@@ -1,0 +1,26 @@
+(** Design-space search: evaluate candidates under the simulator and
+    keep the fastest. *)
+
+type 'a evaluation = {
+  candidate : 'a;
+  config : Design_space.config;
+  time : float;
+}
+
+type 'a outcome = {
+  best : 'a evaluation;
+  evaluated : 'a evaluation list;
+  skipped : int;  (** candidates that failed to build or deadlocked *)
+}
+
+val search :
+  configs:Design_space.config list ->
+  build:(Design_space.config -> 'a) ->
+  evaluate:('a -> float) ->
+  'a outcome option
+
+val search_programs :
+  configs:Design_space.config list ->
+  build:(Design_space.config -> Program.t) ->
+  make_cluster:(unit -> Tilelink_machine.Cluster.t) ->
+  Program.t outcome option

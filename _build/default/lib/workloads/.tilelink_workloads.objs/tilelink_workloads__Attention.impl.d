@@ -1,0 +1,1 @@
+lib/workloads/attention.ml: Array Block_channel Cost Instr List Mapping Memory Nn Primitive Printf Program Shape Spec Tensor Tilelink_core Tilelink_machine Tilelink_sim Tilelink_tensor

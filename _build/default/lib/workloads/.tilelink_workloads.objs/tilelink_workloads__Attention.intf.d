@@ -1,0 +1,1 @@
+lib/workloads/attention.mli: Memory Program Spec Tensor Tilelink_core Tilelink_machine Tilelink_tensor

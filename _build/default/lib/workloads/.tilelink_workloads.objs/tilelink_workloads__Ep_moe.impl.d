@@ -1,0 +1,1 @@
+lib/workloads/ep_moe.ml: Array Cost Design_space Hashtbl Instr Linalg List Memory Nn Printf Program Routing Shape Spec Tensor Tilelink_core Tilelink_machine Tilelink_sim Tilelink_tensor

@@ -1,0 +1,1 @@
+lib/workloads/ep_moe.mli: Design_space Memory Program Routing Spec Tensor Tilelink_core Tilelink_machine Tilelink_tensor

@@ -1,0 +1,1 @@
+lib/workloads/mlp.mli: Design_space Memory Program Spec Tilelink_core Tilelink_machine Tilelink_tensor

@@ -1,0 +1,1 @@
+lib/workloads/model.ml: Attention Cluster Cost Design_space Mlp Moe Runtime Spec Tile Tilelink_core Tilelink_machine Tuned

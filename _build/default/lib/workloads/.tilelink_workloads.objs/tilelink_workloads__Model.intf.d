@@ -1,0 +1,1 @@
+lib/workloads/model.mli: Attention Moe Spec Tilelink_machine

@@ -1,0 +1,1 @@
+lib/workloads/pipeline_parallel.mli: Memory Program Spec Tilelink_core Tilelink_machine Tilelink_tensor

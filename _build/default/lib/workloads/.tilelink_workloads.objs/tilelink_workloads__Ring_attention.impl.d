@@ -1,0 +1,1 @@
+lib/workloads/ring_attention.ml: Array Attention Instr List Lower Mapping Memory Nn Primitive Printf Program Shape Spec Tensor Tilelink_core Tilelink_machine Tilelink_sim Tilelink_tensor

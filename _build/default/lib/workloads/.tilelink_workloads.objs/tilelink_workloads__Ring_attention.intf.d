@@ -1,0 +1,1 @@
+lib/workloads/ring_attention.mli: Attention Memory Program Spec Tilelink_core Tilelink_machine Tilelink_tensor

@@ -1,0 +1,1 @@
+lib/workloads/tuned.ml: Cluster Cost Design_space List Mlp Printf Shapes Spec Tile Tilelink_core Tilelink_machine Tune

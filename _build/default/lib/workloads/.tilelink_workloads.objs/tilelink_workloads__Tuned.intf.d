@@ -1,0 +1,1 @@
+lib/workloads/tuned.mli: Design_space Shapes Spec Tilelink_core Tilelink_machine

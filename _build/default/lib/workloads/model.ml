@@ -1,0 +1,218 @@
+(* End-to-end LLM assembly for the Figure 11 evaluation.
+
+   Eight models (five dense, three MoE — the MoE models with shared
+   experts combine an MLP layer and an MoE layer, §7.3), batch 4 x
+   sequence 8192, tensor parallel inside a node.  A transformer layer
+   is assembled from the same kernel substrates the single-layer
+   benchmarks use:
+
+     QKV projection   = AllGather + GEMM
+     attention core   = sequence-parallel AG KV + flash attention
+     output proj      = GEMM + ReduceScatter
+     FFN              = tensor-parallel MLP or MoE
+
+   Two-node runs use data parallel between nodes: per-node compute is
+   unchanged (global batch doubles) and a bucketed gradient AllReduce
+   over the NIC leaves a calibrated exposed fraction, identical for
+   every method — which is why the paper's two-node speedup is
+   slightly below the single-node one. *)
+
+open Tilelink_core
+open Tilelink_machine
+
+type ffn = Dense | Moe_ffn of { experts : int; topk : int; shared_i : int }
+
+type llm = {
+  model_name : string;
+  layers : int;
+  hidden : int;
+  intermediate : int;  (* per-expert intermediate for MoE models *)
+  heads : int;
+  head_dim : int;
+  ffn : ffn;
+}
+
+let models =
+  [
+    { model_name = "LLaMA-7B"; layers = 32; hidden = 4096; intermediate = 11008;
+      heads = 32; head_dim = 128; ffn = Dense };
+    { model_name = "LLaMA-3.1-8B"; layers = 32; hidden = 4096; intermediate = 14336;
+      heads = 32; head_dim = 128; ffn = Dense };
+    { model_name = "Gemma-2-9B"; layers = 42; hidden = 3584; intermediate = 14336;
+      heads = 16; head_dim = 256; ffn = Dense };
+    { model_name = "Gemma-2-27B"; layers = 46; hidden = 4608; intermediate = 36864;
+      heads = 32; head_dim = 128; ffn = Dense };
+    { model_name = "LLaMA-3.1-70B"; layers = 80; hidden = 8192; intermediate = 28672;
+      heads = 64; head_dim = 128; ffn = Dense };
+    { model_name = "Mixtral-8x7B"; layers = 32; hidden = 4096; intermediate = 14336;
+      heads = 32; head_dim = 128; ffn = Moe_ffn { experts = 8; topk = 2; shared_i = 0 } };
+    { model_name = "Qwen1.5-MoE"; layers = 24; hidden = 2048; intermediate = 1408;
+      heads = 16; head_dim = 128;
+      ffn = Moe_ffn { experts = 60; topk = 4; shared_i = 5632 } };
+    { model_name = "DeepSeekMoE-16B"; layers = 28; hidden = 2048; intermediate = 1408;
+      heads = 16; head_dim = 128;
+      ffn = Moe_ffn { experts = 64; topk = 6; shared_i = 2816 } };
+  ]
+
+let batch = 4
+let seq_len = 8192
+let tokens = batch * seq_len  (* M *)
+
+let is_moe llm = match llm.ffn with Dense -> false | Moe_ffn _ -> true
+
+(* Approximate per-layer parameter count (per full model, not per
+   rank); drives the data-parallel gradient AllReduce of 2-node runs. *)
+let layer_params llm =
+  let h = float_of_int llm.hidden in
+  let attn = 4.0 *. h *. h in
+  let ffn =
+    match llm.ffn with
+    | Dense -> 3.0 *. h *. float_of_int llm.intermediate
+    | Moe_ffn { experts; shared_i; _ } ->
+      (3.0 *. h *. float_of_int (experts * llm.intermediate))
+      +. (3.0 *. h *. float_of_int shared_i)
+  in
+  attn +. ffn
+
+(* Attention spec of one layer under sequence parallelism. *)
+let attention_spec llm ~world_size =
+  {
+    Attention.batch_heads = batch * llm.heads;
+    seq = seq_len;
+    head_dim = llm.head_dim;
+    world_size;
+    causal = false;
+  }
+
+let attention_config = { Attention.q_tile = 512; kv_tile = 1024 }
+
+let moe_spec llm ~experts ~topk ~world_size =
+  {
+    Moe.tokens;
+    hidden = llm.hidden;
+    intermediate = llm.intermediate;
+    experts;
+    topk;
+    world_size;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* TileLink layer times                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_program spec ~world_size program =
+  let cluster = Cluster.create spec ~world_size in
+  (Runtime.run cluster program).Runtime.makespan
+
+let tilelink_attention_time (spec : Spec.t) llm ~world_size =
+  run_program spec ~world_size
+    (Attention.program ~config:attention_config
+       (attention_spec llm ~world_size)
+       ~spec_gpu:spec)
+
+(* Fixed known-good configs (tuning every projection of every model
+   would multiply bench time without changing the story; the
+   single-layer benchmarks tune for real). *)
+let ag_config ~world_size =
+  {
+    Design_space.comm_tile = (512, 128);
+    compute_tile = (128, 128);
+    comm_order = Tile.Ring_from_self { segments = world_size };
+    compute_order = Tile.Ring_from_self { segments = world_size };
+    binding = Design_space.Comm_on_dma;
+    stages = 2;
+  }
+
+let rs_config =
+  {
+    Design_space.comm_tile = (128, 2048);
+    compute_tile = (128, 128);
+    comm_order = Tile.Row_major;
+    compute_order = Tile.Ring_prev_first { segments = 8 };
+    binding = Design_space.Comm_hybrid { dma_fraction = 0.5; sms = 12 };
+    stages = 2;
+  }
+
+let tilelink_ag_gemm (spec : Spec.t) ~world_size ~m ~k ~n =
+  run_program spec ~world_size
+    (Mlp.ag_gemm_program
+       ~config:(ag_config ~world_size)
+       { Mlp.m; k; n; world_size }
+       ~spec_gpu:spec)
+
+let tilelink_gemm_rs (spec : Spec.t) ~world_size ~m ~k ~n =
+  let rs_config =
+    if n mod 2048 = 0 then rs_config
+    else { rs_config with Design_space.comm_tile = (128, n) }
+  in
+  run_program spec ~world_size
+    (Mlp.gemm_rs_program ~config:rs_config
+       { Mlp.rs_m = m; rs_k = k; rs_n = n; rs_world = world_size }
+       ~spec_gpu:spec)
+
+let tilelink_mlp_time (spec : Spec.t) ~world_size ~hidden ~intermediate =
+  let ipr = intermediate / world_size in
+  tilelink_ag_gemm spec ~world_size ~m:tokens ~k:hidden ~n:(2 * ipr)
+  +. Tuned.activation_time spec ~m:tokens ~i:ipr
+  +. tilelink_gemm_rs spec ~world_size ~m:tokens ~k:ipr ~n:hidden
+
+let tilelink_moe_time (spec : Spec.t) llm ~experts ~topk ~world_size =
+  let moe = moe_spec llm ~experts ~topk ~world_size in
+  let route = Moe.routing moe ~seed:7 in
+  let part1 =
+    run_program spec ~world_size (Moe.part1_program moe route ~spec_gpu:spec)
+  in
+  let part2 =
+    run_program spec ~world_size (Moe.part2_program moe route ~spec_gpu:spec)
+  in
+  let act =
+    Tuned.activation_time spec ~m:(tokens * topk)
+      ~i:(llm.intermediate / world_size)
+  in
+  part1 +. act +. part2
+
+let tilelink_layer_time (spec : Spec.t) llm ~world_size =
+  let h = llm.hidden in
+  let qkv =
+    tilelink_ag_gemm spec ~world_size ~m:tokens ~k:h ~n:(3 * h / world_size)
+  in
+  let o_proj =
+    tilelink_gemm_rs spec ~world_size ~m:tokens ~k:(h / world_size) ~n:h
+  in
+  let attn = tilelink_attention_time spec llm ~world_size in
+  let ffn =
+    match llm.ffn with
+    | Dense ->
+      tilelink_mlp_time spec ~world_size ~hidden:h
+        ~intermediate:llm.intermediate
+    | Moe_ffn { experts; topk; shared_i } ->
+      let moe = tilelink_moe_time spec llm ~experts ~topk ~world_size in
+      let shared =
+        if shared_i = 0 then 0.0
+        else tilelink_mlp_time spec ~world_size ~hidden:h ~intermediate:shared_i
+      in
+      moe +. shared
+  in
+  qkv +. attn +. o_proj +. ffn
+
+let tilelink_model_time spec llm ~world_size =
+  float_of_int llm.layers *. tilelink_layer_time spec llm ~world_size
+
+(* ------------------------------------------------------------------ *)
+(* Two-node data parallelism                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Fraction of the bucketed gradient AllReduce left exposed after
+   overlapping with backward compute. *)
+let dp_exposed_fraction = 0.15
+
+let dp_overhead_per_layer (spec : Spec.t) llm ~world_size =
+  let bytes_per_rank =
+    layer_params llm /. float_of_int world_size *. Cost.dtype_bytes
+  in
+  dp_exposed_fraction *. bytes_per_rank
+  /. (spec.Spec.interconnect.nic_gbps *. 1.0e3)
+
+let two_node_time (spec : Spec.t) llm ~world_size ~single_node_time =
+  single_node_time
+  +. (float_of_int llm.layers *. dp_overhead_per_layer spec llm ~world_size)

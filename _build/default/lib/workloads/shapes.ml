@@ -1,0 +1,61 @@
+(* Benchmark shapes from Table 4 of the paper. *)
+
+type mlp = {
+  mlp_name : string;
+  s : int;            (* batch x sequence length *)
+  h : int;            (* hidden dimension *)
+  i : int;            (* intermediate size *)
+  source_model : string;
+}
+
+let mlp_configs =
+  [
+    { mlp_name = "MLP-1"; s = 8192; h = 4096; i = 11008; source_model = "LLaMA-7B" };
+    { mlp_name = "MLP-2"; s = 8192; h = 4096; i = 14336; source_model = "LLaMA-3.1-8B" };
+    { mlp_name = "MLP-3"; s = 8192; h = 3584; i = 14336; source_model = "Gemma-2-9B" };
+    { mlp_name = "MLP-4"; s = 8192; h = 4608; i = 36864; source_model = "Gemma-2-27B" };
+    { mlp_name = "MLP-5"; s = 8192; h = 8192; i = 28672; source_model = "LLaMA-3.1-70B" };
+    { mlp_name = "MLP-6"; s = 8192; h = 8192; i = 29568; source_model = "Qwen-2-72B" };
+  ]
+
+type moe = {
+  moe_name : string;
+  moe_s : int;
+  moe_h : int;
+  moe_i : int;
+  experts : int;
+  topk : int;
+}
+
+let moe_configs =
+  [
+    { moe_name = "MoE-1"; moe_s = 8192; moe_h = 2048; moe_i = 1536; experts = 8; topk = 2 };
+    { moe_name = "MoE-2"; moe_s = 8192; moe_h = 2048; moe_i = 1536; experts = 32; topk = 2 };
+    { moe_name = "MoE-3"; moe_s = 8192; moe_h = 2048; moe_i = 1536; experts = 32; topk = 5 };
+    { moe_name = "MoE-4"; moe_s = 8192; moe_h = 4096; moe_i = 2048; experts = 8; topk = 2 };
+    { moe_name = "MoE-5"; moe_s = 8192; moe_h = 4096; moe_i = 2048; experts = 32; topk = 2 };
+    { moe_name = "MoE-6"; moe_s = 8192; moe_h = 4096; moe_i = 2048; experts = 32; topk = 5 };
+  ]
+
+type attn = {
+  attn_name : string;
+  heads : int;
+  head_dim : int;
+  seq_choices : int list;
+}
+
+let attn_configs =
+  [
+    {
+      attn_name = "Attn-1";
+      heads = 32;
+      head_dim = 128;
+      seq_choices = [ 16384; 32768; 65536; 131072 ];
+    };
+    {
+      attn_name = "Attn-2";
+      heads = 64;
+      head_dim = 128;
+      seq_choices = [ 16384; 32768; 65536; 131072 ];
+    };
+  ]

@@ -1,0 +1,31 @@
+(** Benchmark shapes from Table 4 of the paper. *)
+
+type mlp = {
+  mlp_name : string;
+  s : int;  (** batch x sequence length *)
+  h : int;  (** hidden dimension *)
+  i : int;  (** intermediate size *)
+  source_model : string;
+}
+
+val mlp_configs : mlp list
+
+type moe = {
+  moe_name : string;
+  moe_s : int;
+  moe_h : int;
+  moe_i : int;
+  experts : int;
+  topk : int;
+}
+
+val moe_configs : moe list
+
+type attn = {
+  attn_name : string;
+  heads : int;
+  head_dim : int;
+  seq_choices : int list;
+}
+
+val attn_configs : attn list

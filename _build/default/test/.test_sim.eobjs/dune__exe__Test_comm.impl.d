@@ -1,0 +1,1 @@
+test/test_comm.ml: Alcotest Calib Check Cluster Collective Float Format List Printf QCheck QCheck_alcotest Shape Tensor Tilelink_comm Tilelink_machine Tilelink_sim Tilelink_tensor

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bandwidth Counter Engine Float Gen List Pqueue Process QCheck QCheck_alcotest Resource Stats String Tilelink_sim Trace

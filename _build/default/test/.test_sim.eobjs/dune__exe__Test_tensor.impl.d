@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Check Float Format Gen Linalg List Nn Printf QCheck QCheck_alcotest Routing Shape Tensor Tilelink_tensor

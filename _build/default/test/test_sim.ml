@@ -1,0 +1,578 @@
+(* Tests for the discrete-event simulation substrate. *)
+
+open Tilelink_sim
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  Pqueue.push q 3.0 "c";
+  Pqueue.push q 1.0 "a";
+  Pqueue.push q 2.0 "b";
+  let pop () =
+    match Pqueue.pop q with Some e -> e.Pqueue.payload | None -> "?"
+  in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun s -> Pqueue.push q 1.0 s) [ "x"; "y"; "z" ];
+  let pop () =
+    match Pqueue.pop q with Some e -> e.Pqueue.payload | None -> "?"
+  in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "fifo on equal priority" [ "x"; "y"; "z" ]
+    [ first; second; third ]
+
+let test_pqueue_empty () =
+  let q : int Pqueue.t = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Alcotest.(check bool) "pop none" true (Pqueue.pop q = None);
+  Alcotest.(check bool) "peek none" true (Pqueue.peek q = None)
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue pops in nondecreasing priority order"
+    ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun priorities ->
+      let q = Pqueue.create () in
+      List.iter (fun p -> Pqueue.push q p ()) priorities;
+      let rec drain last =
+        match Pqueue.pop q with
+        | None -> true
+        | Some e -> e.Pqueue.priority >= last && drain e.Pqueue.priority
+      in
+      drain neg_infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Engine + Process                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_advances () =
+  let engine = Engine.create () in
+  let finished = ref (-1.0) in
+  Process.spawn engine (fun () ->
+      Process.wait 5.0;
+      Process.wait 2.5;
+      finished := Engine.now engine);
+  Engine.run engine;
+  check_float "ends at 7.5" 7.5 !finished
+
+let test_processes_interleave () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let emit tag () = log := (tag, Engine.now engine) :: !log in
+  Process.spawn engine (fun () ->
+      emit "a0" ();
+      Process.wait 10.0;
+      emit "a1" ());
+  Process.spawn engine (fun () ->
+      Process.wait 4.0;
+      emit "b0" ();
+      Process.wait 4.0;
+      emit "b1" ());
+  Engine.run engine;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "interleaving order"
+    [ ("a0", 0.0); ("b0", 4.0); ("b1", 8.0); ("a1", 10.0) ]
+    (List.rev !log)
+
+let test_spawn_at () =
+  let engine = Engine.create () in
+  let t = ref 0.0 in
+  Process.spawn ~at:3.0 engine (fun () -> t := Engine.now engine);
+  Engine.run engine;
+  check_float "starts at 3" 3.0 !t
+
+let test_run_until () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  Process.spawn engine (fun () ->
+      for _ = 1 to 10 do
+        Process.wait 1.0;
+        incr count
+      done);
+  Engine.run ~until:4.5 engine;
+  Alcotest.(check int) "4 ticks by t=4.5" 4 !count
+
+let test_join_latch () =
+  let engine = Engine.create () in
+  let joined_at = ref (-1.0) in
+  let join =
+    Process.spawn_all engine
+      [
+        (fun () -> Process.wait 3.0);
+        (fun () -> Process.wait 7.0);
+        (fun () -> Process.wait 1.0);
+      ]
+  in
+  Process.spawn engine (fun () ->
+      Process.Join.wait join;
+      joined_at := Engine.now engine);
+  Engine.run engine;
+  check_float "join waits for slowest" 7.0 !joined_at
+
+let test_deadlock_detection () =
+  let engine = Engine.create () in
+  Process.spawn engine (fun () ->
+      (* Suspend with a register that never resumes. *)
+      Process.suspend (fun _resume -> ()));
+  Alcotest.check_raises "deadlock raised"
+    (Engine.Deadlock
+       "simulation deadlock: 1 process(es) still blocked at t=0.000")
+    (fun () -> Engine.run engine)
+
+let test_negative_wait_rejected () =
+  let engine = Engine.create () in
+  let raised = ref false in
+  Process.spawn engine (fun () ->
+      try Process.wait (-1.0) with Invalid_argument _ -> raised := true);
+  Engine.run engine;
+  Alcotest.(check bool) "invalid_arg" true !raised
+
+(* ------------------------------------------------------------------ *)
+(* Resource                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_resource_blocks_and_grants () =
+  let engine = Engine.create () in
+  let sms = Resource.create engine ~name:"sm" ~capacity:4 in
+  let order = ref [] in
+  let worker tag units dt () =
+    Resource.use sms units (fun () ->
+        Process.wait dt;
+        order := (tag, Engine.now engine) :: !order)
+  in
+  Process.spawn engine (worker "big" 4 10.0);
+  Process.spawn engine (worker "small" 1 1.0);
+  Engine.run engine;
+  (* capacity taken by big, so small runs after. *)
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "fifo admission"
+    [ ("big", 10.0); ("small", 11.0) ]
+    (List.rev !order)
+
+let test_resource_concurrent_fit () =
+  let engine = Engine.create () in
+  let sms = Resource.create engine ~name:"sm" ~capacity:4 in
+  let ends = ref [] in
+  let worker units dt () =
+    Resource.use sms units (fun () ->
+        Process.wait dt;
+        ends := Engine.now engine :: !ends)
+  in
+  Process.spawn engine (worker 2 5.0);
+  Process.spawn engine (worker 2 5.0);
+  Engine.run engine;
+  Alcotest.(check (list (float 1e-9))) "both end at 5" [ 5.0; 5.0 ] !ends
+
+let test_resource_utilization () =
+  let engine = Engine.create () in
+  let r = Resource.create engine ~name:"u" ~capacity:2 in
+  Process.spawn engine (fun () ->
+      Resource.use r 2 (fun () -> Process.wait 10.0);
+      Process.wait 10.0);
+  Engine.run engine;
+  check_float "busy integral" 20.0 (Resource.busy_time r);
+  check_float "utilization 50%" 0.5 (Resource.utilization r ~horizon:20.0)
+
+let test_resource_over_release () =
+  let engine = Engine.create () in
+  let r = Resource.create engine ~name:"o" ~capacity:1 in
+  Alcotest.(check bool) "over release rejected" true
+    (try
+       Resource.release r 1;
+       false
+     with Invalid_argument _ -> true)
+
+let test_resource_too_large_request () =
+  let engine = Engine.create () in
+  let r = Resource.create engine ~name:"x" ~capacity:2 in
+  let raised = ref false in
+  Process.spawn engine (fun () ->
+      try Resource.acquire r 3 with Invalid_argument _ -> raised := true);
+  Engine.run engine;
+  Alcotest.(check bool) "oversized acquire rejected" true !raised
+
+let prop_resource_never_negative =
+  QCheck.Test.make ~name:"resource availability stays within [0, capacity]"
+    ~count:100
+    QCheck.(
+      pair (int_range 1 4)
+        (small_list (pair (int_range 1 3) (float_bound_exclusive 5.0))))
+    (fun (capacity, jobs) ->
+      let engine = Engine.create () in
+      let r = Resource.create engine ~name:"p" ~capacity in
+      let ok = ref true in
+      List.iter
+        (fun (units, dt) ->
+          let units = min units capacity in
+          Process.spawn engine (fun () ->
+              Resource.use r units (fun () ->
+                  if
+                    Resource.available r < 0
+                    || Resource.available r > capacity
+                  then ok := false;
+                  Process.wait (Float.abs dt))))
+        jobs;
+      Engine.run engine;
+      !ok && Resource.available r = capacity)
+
+(* ------------------------------------------------------------------ *)
+(* Bandwidth                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bandwidth_duration () =
+  let engine = Engine.create () in
+  let link =
+    Bandwidth.create engine ~name:"nvl" ~gbps:100.0 ~latency_us:2.0 ()
+  in
+  (* 100 GB/s = 1e5 B/us; 1e6 bytes take 10us + 2us latency. *)
+  check_float "duration" 12.0 (Bandwidth.duration link ~bytes:1.0e6)
+
+let test_bandwidth_serializes () =
+  let engine = Engine.create () in
+  let link =
+    Bandwidth.create engine ~name:"nvl" ~gbps:100.0 ~latency_us:0.0 ()
+  in
+  let ends = ref [] in
+  let sender () =
+    Bandwidth.transfer link ~bytes:1.0e6;
+    ends := Engine.now engine :: !ends
+  in
+  Process.spawn engine sender;
+  Process.spawn engine sender;
+  Engine.run engine;
+  Alcotest.(check (list (float 1e-6)))
+    "fifo serialization" [ 20.0; 10.0 ] !ends
+
+let test_bandwidth_streams () =
+  let engine = Engine.create () in
+  let link =
+    Bandwidth.create engine ~name:"mesh" ~gbps:100.0 ~latency_us:0.0
+      ~streams:2 ()
+  in
+  let ends = ref [] in
+  let sender () =
+    Bandwidth.transfer link ~bytes:1.0e6;
+    ends := Engine.now engine :: !ends
+  in
+  Process.spawn engine sender;
+  Process.spawn engine sender;
+  Engine.run engine;
+  Alcotest.(check (list (float 1e-6)))
+    "parallel streams" [ 10.0; 10.0 ] !ends
+
+let test_bandwidth_accounting () =
+  let engine = Engine.create () in
+  let link =
+    Bandwidth.create engine ~name:"n" ~gbps:50.0 ~latency_us:1.0 ()
+  in
+  Process.spawn engine (fun () ->
+      Bandwidth.transfer link ~bytes:1000.0;
+      Bandwidth.transfer link ~bytes:2000.0);
+  Engine.run engine;
+  check_float "bytes" 3000.0 (Bandwidth.bytes_moved link);
+  Alcotest.(check int) "count" 2 (Bandwidth.transfer_count link)
+
+(* ------------------------------------------------------------------ *)
+(* Counter                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_wait_release () =
+  let engine = Engine.create () in
+  let c = Counter.create ~name:"barrier" () in
+  let woke_at = ref (-1.0) in
+  Process.spawn engine (fun () ->
+      Counter.await_ge c 3;
+      woke_at := Engine.now engine);
+  Process.spawn engine (fun () ->
+      for _ = 1 to 3 do
+        Process.wait 2.0;
+        Counter.add c 1
+      done);
+  Engine.run engine;
+  check_float "woken when value reaches 3" 6.0 !woke_at
+
+let test_counter_already_satisfied () =
+  let engine = Engine.create () in
+  let c = Counter.create () in
+  Counter.add c 5;
+  let woke = ref false in
+  Process.spawn engine (fun () ->
+      Counter.await_ge c 5;
+      woke := true);
+  Engine.run engine;
+  Alcotest.(check bool) "no blocking when satisfied" true !woke
+
+let test_counter_set_at_least () =
+  let engine = Engine.create () in
+  let c = Counter.create () in
+  Counter.set_at_least c 4;
+  Counter.set_at_least c 2;
+  Alcotest.(check int) "monotonic" 4 (Counter.value c);
+  ignore engine
+
+let test_counter_multiple_waiters () =
+  let engine = Engine.create () in
+  let c = Counter.create () in
+  let woke = ref [] in
+  List.iter
+    (fun (tag, threshold) ->
+      Process.spawn engine (fun () ->
+          Counter.await_ge c threshold;
+          woke := (tag, Engine.now engine) :: !woke))
+    [ ("t1", 1); ("t2", 2); ("t3", 3) ];
+  Process.spawn engine (fun () ->
+      Process.wait 1.0;
+      Counter.add c 2;
+      Process.wait 1.0;
+      Counter.add c 1);
+  Engine.run engine;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "waiters wake by threshold"
+    [ ("t1", 1.0); ("t2", 1.0); ("t3", 2.0) ]
+    (List.rev !woke)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_busy_time_merges () =
+  let tr = Trace.create () in
+  Trace.add tr ~rank:0 ~lane:Trace.Compute_sm ~label:"a" ~t0:0.0 ~t1:5.0;
+  Trace.add tr ~rank:0 ~lane:Trace.Compute_sm ~label:"b" ~t0:3.0 ~t1:8.0;
+  Trace.add tr ~rank:0 ~lane:Trace.Dma ~label:"c" ~t0:10.0 ~t1:12.0;
+  check_float "union of overlapping spans" 10.0 (Trace.busy_time tr);
+  check_float "filtered"
+    2.0
+    (Trace.busy_time ~pred:(fun s -> s.Trace.lane = Trace.Dma) tr);
+  check_float "duration" 12.0 (Trace.duration tr)
+
+let string_contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec scan i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_trace_render_nonempty () =
+  let tr = Trace.create () in
+  Trace.add tr ~rank:0 ~lane:Trace.Compute_sm ~label:"gemm" ~t0:0.0 ~t1:4.0;
+  Trace.add tr ~rank:1 ~lane:Trace.Dma ~label:"copy" ~t0:2.0 ~t1:6.0;
+  let s = Trace.render tr in
+  Alcotest.(check bool) "mentions compute lane" true
+    (string_contains s "compute-sm");
+  Alcotest.(check bool) "mentions dma lane" true (string_contains s "dma")
+
+(* ------------------------------------------------------------------ *)
+(* More engine / process edges                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_nested_spawn () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  Process.spawn engine (fun () ->
+      Process.wait 1.0;
+      Process.spawn ~at:2.0 engine (fun () ->
+          log := ("child", Engine.now engine) :: !log);
+      Process.wait 0.5;
+      log := ("parent", Engine.now engine) :: !log);
+  Engine.run engine;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "nested spawn timing"
+    [ ("parent", 1.5); ("child", 3.0) ]
+    (List.rev !log)
+
+let test_join_zero () =
+  let engine = Engine.create () in
+  let woke = ref false in
+  let join = Process.Join.create 0 in
+  Process.spawn engine (fun () ->
+      Process.Join.wait join;
+      woke := true);
+  Engine.run engine;
+  Alcotest.(check bool) "zero-latch never blocks" true !woke
+
+let test_schedule_at () =
+  let engine = Engine.create () in
+  let t = ref 0.0 in
+  Engine.schedule_at engine ~time:7.0 (fun () -> t := Engine.now engine);
+  Engine.run engine;
+  check_float "fires at absolute time" 7.0 !t;
+  Alcotest.(check bool) "past time rejected" true
+    (try Engine.schedule_at engine ~time:1.0 (fun () -> ()); false
+     with Invalid_argument _ -> true)
+
+let test_engine_counters () =
+  let engine = Engine.create () in
+  Engine.schedule engine ~delay:1.0 (fun () -> ());
+  Engine.schedule engine ~delay:2.0 (fun () -> ());
+  Alcotest.(check int) "pending" 2 (Engine.pending_events engine);
+  Engine.run engine;
+  Alcotest.(check int) "executed" 2 (Engine.executed_events engine);
+  Alcotest.(check int) "drained" 0 (Engine.pending_events engine)
+
+let test_yield_interleaves_same_time () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  Process.spawn engine (fun () ->
+      log := "a1" :: !log;
+      Process.yield ();
+      log := "a2" :: !log);
+  Process.spawn engine (fun () -> log := "b" :: !log);
+  Engine.run engine;
+  Alcotest.(check (list string)) "yield lets b run" [ "a1"; "b"; "a2" ]
+    (List.rev !log)
+
+let test_bandwidth_zero_bytes () =
+  let engine = Engine.create () in
+  let link = Bandwidth.create engine ~name:"z" ~gbps:10.0 ~latency_us:2.0 () in
+  let t = ref (-1.0) in
+  Process.spawn engine (fun () ->
+      Bandwidth.transfer link ~bytes:0.0;
+      t := Engine.now engine);
+  Engine.run engine;
+  check_float "latency only" 2.0 !t
+
+let test_counter_reset () =
+  let c = Counter.create () in
+  Counter.add c 3;
+  Counter.reset c;
+  Alcotest.(check int) "reset to zero" 0 (Counter.value c)
+
+let test_trace_disabled_records_nothing () =
+  let tr = Trace.create ~enabled:false () in
+  Trace.add tr ~rank:0 ~lane:Trace.Compute_sm ~label:"x" ~t0:0.0 ~t1:1.0;
+  Alcotest.(check int) "no spans" 0 (List.length (Trace.spans tr))
+
+let test_trace_chrome_json_wellformed () =
+  let tr = Trace.create () in
+  Trace.add tr ~rank:0 ~lane:Trace.Compute_sm ~label:"a\"b" ~t0:0.0 ~t1:1.0;
+  Trace.add tr ~rank:1 ~lane:Trace.Dma ~label:"c" ~t0:1.0 ~t1:2.0;
+  let json = Trace.to_chrome_json tr in
+  Alcotest.(check bool) "array" true
+    (String.length json > 2 && json.[0] = '[');
+  Alcotest.(check bool) "escaped quote" true
+    (string_contains json "a\\\"b");
+  Alcotest.(check bool) "both events" true
+    (string_contains json "\"pid\":1")
+
+let test_resource_queue_length () =
+  let engine = Engine.create () in
+  let r = Resource.create engine ~name:"q" ~capacity:1 in
+  Process.spawn engine (fun () -> Resource.use r 1 (fun () -> Process.wait 5.0));
+  Process.spawn engine (fun () -> Resource.use r 1 (fun () -> ()));
+  Process.spawn engine (fun () ->
+      Process.wait 1.0;
+      Alcotest.(check int) "one waiter" 1 (Resource.queue_length r));
+  Engine.run engine
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_basic () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "geomean" 2.0 (Stats.geomean [ 1.0; 4.0 ]);
+  check_float "speedup" 2.0 (Stats.speedup ~baseline:10.0 ~candidate:5.0);
+  check_float "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  check_float "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ])
+
+let prop_geomean_le_mean =
+  QCheck.Test.make ~name:"geomean <= mean for positive samples" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.1 100.0))
+    (fun xs -> Stats.geomean xs <= Stats.mean xs +. 1e-9)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "ordering" `Quick test_pqueue_order;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          qc prop_pqueue_sorts;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "interleaving" `Quick test_processes_interleave;
+          Alcotest.test_case "spawn at" `Quick test_spawn_at;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "join latch" `Quick test_join_latch;
+          Alcotest.test_case "deadlock detection" `Quick
+            test_deadlock_detection;
+          Alcotest.test_case "negative wait" `Quick
+            test_negative_wait_rejected;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "blocks and grants" `Quick
+            test_resource_blocks_and_grants;
+          Alcotest.test_case "concurrent fit" `Quick
+            test_resource_concurrent_fit;
+          Alcotest.test_case "utilization" `Quick test_resource_utilization;
+          Alcotest.test_case "over release" `Quick test_resource_over_release;
+          Alcotest.test_case "too large request" `Quick
+            test_resource_too_large_request;
+          qc prop_resource_never_negative;
+        ] );
+      ( "bandwidth",
+        [
+          Alcotest.test_case "duration" `Quick test_bandwidth_duration;
+          Alcotest.test_case "serializes" `Quick test_bandwidth_serializes;
+          Alcotest.test_case "streams" `Quick test_bandwidth_streams;
+          Alcotest.test_case "accounting" `Quick test_bandwidth_accounting;
+        ] );
+      ( "counter",
+        [
+          Alcotest.test_case "wait/release" `Quick test_counter_wait_release;
+          Alcotest.test_case "already satisfied" `Quick
+            test_counter_already_satisfied;
+          Alcotest.test_case "set_at_least" `Quick test_counter_set_at_least;
+          Alcotest.test_case "multiple waiters" `Quick
+            test_counter_multiple_waiters;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "busy time merges" `Quick
+            test_trace_busy_time_merges;
+          Alcotest.test_case "render" `Quick test_trace_render_nonempty;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "nested spawn" `Quick test_nested_spawn;
+          Alcotest.test_case "join zero" `Quick test_join_zero;
+          Alcotest.test_case "schedule_at" `Quick test_schedule_at;
+          Alcotest.test_case "engine counters" `Quick test_engine_counters;
+          Alcotest.test_case "yield" `Quick test_yield_interleaves_same_time;
+          Alcotest.test_case "zero-byte transfer" `Quick
+            test_bandwidth_zero_bytes;
+          Alcotest.test_case "counter reset" `Quick test_counter_reset;
+          Alcotest.test_case "trace disabled" `Quick
+            test_trace_disabled_records_nothing;
+          Alcotest.test_case "chrome json" `Quick
+            test_trace_chrome_json_wellformed;
+          Alcotest.test_case "resource queue length" `Quick
+            test_resource_queue_length;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          qc prop_geomean_le_mean;
+        ] );
+    ]
