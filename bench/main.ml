@@ -631,6 +631,148 @@ let micro () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* --json: machine-readable BENCH_<suite>.json artifacts               *)
+(* ------------------------------------------------------------------ *)
+
+(* Each row is one (shape, kernel) run on a traced cluster with a fresh
+   telemetry handle: makespan, mean overlap ratio across ranks, and the
+   pooled wait-latency percentiles.  Future PRs diff these files to see
+   the perf trajectory without re-parsing the human-readable tables. *)
+
+module Obs = Tilelink_obs
+
+let mean_overlap cluster ~world_size =
+  Report.all_ranks (Cluster.trace cluster) ~world_size
+  |> List.map Report.overlap_ratio
+  |> Tilelink_sim.Stats.mean
+
+let wait_json telemetry =
+  let metrics = Obs.Telemetry.metrics telemetry in
+  match Obs.Metrics.merged_summary metrics ~prefix:"wait_us." with
+  | None -> Obs.Json.Null
+  | Some s ->
+    Obs.Json.Obj
+      [
+        ("count", Obs.Json.Num (float_of_int s.Obs.Metrics.count));
+        ("p50_us", Obs.Json.Num s.Obs.Metrics.p50);
+        ("p95_us", Obs.Json.Num s.Obs.Metrics.p95);
+        ("p99_us", Obs.Json.Num s.Obs.Metrics.p99);
+        ("max_us", Obs.Json.Num s.Obs.Metrics.max);
+      ]
+
+let bench_row ~config_name ~kernel (cluster, result) telemetry =
+  Obs.Json.Obj
+    [
+      ("config", Obs.Json.Str config_name);
+      ("kernel", Obs.Json.Str kernel);
+      ( "makespan_us",
+        Obs.Json.Num result.Tilelink_core.Runtime.makespan );
+      ("overlap_ratio", Obs.Json.Num (mean_overlap cluster ~world_size:world));
+      ("wait_us", wait_json telemetry);
+    ]
+
+(* Fixed representative configs (not tuned — the point is a stable
+   measurement, comparable across commits).  The AG comm tile must
+   divide the row shard (8192/8 = 1024) and the RS column tile must
+   divide H, which varies per shape, so RS uses the full H as its
+   column tile. *)
+let bench_json_mlp () =
+  let ring = Tilelink_core.Tile.Ring_from_self { segments = world } in
+  List.concat_map
+    (fun (c : Shapes.mlp) ->
+      let ag_spec =
+        {
+          Mlp.m = c.Shapes.s;
+          k = c.Shapes.h;
+          n = 2 * c.Shapes.i / world;
+          world_size = world;
+        }
+      in
+      let rs_spec =
+        {
+          Mlp.rs_m = c.Shapes.s;
+          rs_k = c.Shapes.i / world;
+          rs_n = c.Shapes.h;
+          rs_world = world;
+        }
+      in
+      let ag_config =
+        {
+          Design_space.comm_tile = (512, 128);
+          compute_tile = (128, 128);
+          comm_order = ring;
+          compute_order = ring;
+          binding = Design_space.Comm_on_dma;
+          stages = 2;
+        }
+      in
+      let rs_config =
+        {
+          Design_space.comm_tile = (128, c.Shapes.h);
+          compute_tile = (128, 128);
+          comm_order = Tilelink_core.Tile.Row_major;
+          compute_order = Tilelink_core.Tile.Ring_prev_first { segments = world };
+          binding = Design_space.Comm_hybrid { dma_fraction = 0.5; sms = 12 };
+          stages = 2;
+        }
+      in
+      let ag_tel = Obs.Telemetry.create () in
+      let ag_run =
+        Mlp.profile_ag_gemm ~config:ag_config ~telemetry:ag_tel ag_spec
+          ~spec_gpu:spec
+      in
+      let rs_tel = Obs.Telemetry.create () in
+      let rs_run =
+        Mlp.profile_gemm_rs ~config:rs_config ~telemetry:rs_tel rs_spec
+          ~spec_gpu:spec
+      in
+      [
+        bench_row ~config_name:c.Shapes.mlp_name ~kernel:"ag_gemm" ag_run
+          ag_tel;
+        bench_row ~config_name:c.Shapes.mlp_name ~kernel:"gemm_rs" rs_run
+          rs_tel;
+      ])
+    Shapes.mlp_configs
+
+let bench_json_moe () =
+  List.concat_map
+    (fun (c : Shapes.moe) ->
+      let moe = Moe_baselines.spec_of_shape c ~world_size:world in
+      let route = Moe.routing moe ~seed:17 in
+      let t1 = Obs.Telemetry.create () in
+      let r1 = Moe.profile_part1 ~telemetry:t1 moe route ~spec_gpu:spec in
+      let t2 = Obs.Telemetry.create () in
+      let r2 = Moe.profile_part2 ~telemetry:t2 moe route ~spec_gpu:spec in
+      [
+        bench_row ~config_name:c.Shapes.moe_name ~kernel:"moe_part1" r1 t1;
+        bench_row ~config_name:c.Shapes.moe_name ~kernel:"moe_part2" r2 t2;
+      ])
+    Shapes.moe_configs
+
+let json_suites = [ ("mlp", bench_json_mlp); ("moe", bench_json_moe) ]
+
+let write_bench_json name rows_of =
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let t0 = Unix.gettimeofday () in
+  let rows = rows_of () in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("suite", Obs.Json.Str name);
+        ("machine", Obs.Json.Str spec.Spec.gpu.Spec.gpu_name);
+        ("world_size", Obs.Json.Num (float_of_int world));
+        ("rows", Obs.Json.List rows);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string ~indent:true doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "[%s: wrote %s, %d rows, %.1fs]\n%!" name path
+    (List.length rows)
+    (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -648,22 +790,37 @@ let artifacts =
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst artifacts
-  in
-  Printf.printf "TileLink reproduction benchmarks — %s, %d ranks\n"
-    spec.Spec.gpu.Spec.gpu_name world;
-  List.iter
-    (fun name ->
-      match List.assoc_opt name artifacts with
-      | Some f ->
-        let t0 = Unix.gettimeofday () in
-        f ();
-        Printf.printf "[%s done in %.1fs]\n%!" name
-          (Unix.gettimeofday () -. t0)
-      | None ->
-        Printf.printf "unknown artifact %S; available: %s\n" name
-          (String.concat ", " (List.map fst artifacts)))
-    requested
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json_mode = List.mem "--json" args in
+  let names = List.filter (fun a -> a <> "--json") args in
+  if json_mode then
+    let requested =
+      match names with [] -> List.map fst json_suites | ns -> ns
+    in
+    List.iter
+      (fun name ->
+        match List.assoc_opt name json_suites with
+        | Some rows_of -> write_bench_json name rows_of
+        | None ->
+          Printf.printf "unknown suite %S; available: %s\n" name
+            (String.concat ", " (List.map fst json_suites)))
+      requested
+  else begin
+    let requested =
+      match names with [] -> List.map fst artifacts | ns -> ns
+    in
+    Printf.printf "TileLink reproduction benchmarks — %s, %d ranks\n"
+      spec.Spec.gpu.Spec.gpu_name world;
+    List.iter
+      (fun name ->
+        match List.assoc_opt name artifacts with
+        | Some f ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          Printf.printf "[%s done in %.1fs]\n%!" name
+            (Unix.gettimeofday () -. t0)
+        | None ->
+          Printf.printf "unknown artifact %S; available: %s\n" name
+            (String.concat ", " (List.map fst artifacts)))
+      requested
+  end

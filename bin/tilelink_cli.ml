@@ -456,6 +456,209 @@ let attention_cmd =
       $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Tilelink_obs
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let print_wait_report metrics =
+  Printf.printf "per-primitive wait latency (us):\n";
+  Printf.printf "  %-10s %8s %10s %10s %10s %10s\n" "primitive" "count" "p50"
+    "p95" "p99" "max";
+  let row name label =
+    match Obs.Metrics.summary metrics name with
+    | None -> ()
+    | Some s ->
+      Printf.printf "  %-10s %8d %10.2f %10.2f %10.2f %10.2f\n" label s.count
+        s.Obs.Metrics.p50 s.p95 s.p99 s.max
+  in
+  row "wait_us.pc" "pc";
+  row "wait_us.peer" "peer";
+  row "wait_us.host" "host";
+  (match Obs.Metrics.merged_summary metrics ~prefix:"wait_us." with
+  | None -> Printf.printf "  (no waits recorded)\n"
+  | Some s ->
+    Printf.printf "  %-10s %8d %10.2f %10.2f %10.2f %10.2f\n" "all" s.count
+      s.p50 s.p95 s.p99 s.max);
+  Printf.printf "counters:\n";
+  List.iter
+    (fun name ->
+      Printf.printf "  %-24s %d\n" name
+        (Option.get (Obs.Metrics.counter_value metrics name)))
+    (Obs.Metrics.counter_names metrics)
+
+(* Structural checks over the freshly written artifacts: both files
+   must re-parse, the Perfetto trace must contain at least one
+   notify->wait flow pair and one counter track, and the metrics dump
+   must hold a non-empty wait histogram.  This is the smoke test the
+   dev-check alias runs. *)
+let check_artifacts ~metrics_path ~perfetto_path =
+  let read path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let fail msg =
+    Printf.eprintf "profile check FAILED: %s\n" msg;
+    exit 2
+  in
+  let parse label path =
+    match Obs.Json.parse (read path) with
+    | Ok v -> v
+    | Error msg -> fail (Printf.sprintf "%s is not valid JSON: %s" label msg)
+  in
+  let metrics_json = parse "metrics" metrics_path in
+  let perfetto = parse "perfetto" perfetto_path in
+  let events = Obs.Json.to_list perfetto in
+  let phase ph e =
+    match Obs.Json.member "ph" e with
+    | Some (Obs.Json.Str s) -> s = ph
+    | _ -> false
+  in
+  let flow_id ph =
+    List.filter_map
+      (fun e ->
+        if phase ph e then
+          Option.bind (Obs.Json.member "id" e) Obs.Json.to_float
+        else None)
+      events
+  in
+  let starts = flow_id "s" and finishes = flow_id "f" in
+  let paired = List.exists (fun id -> List.mem id finishes) starts in
+  if not paired then fail "no notify->wait flow event pair in Perfetto trace";
+  if not (List.exists (phase "C") events) then
+    fail "no counter track in Perfetto trace";
+  let wait_histogram =
+    match Obs.Json.member "histograms" metrics_json with
+    | Some (Obs.Json.Obj fields) ->
+      List.exists
+        (fun (name, v) ->
+          String.length name >= 8
+          && String.sub name 0 8 = "wait_us."
+          &&
+          match Obs.Json.member "count" v with
+          | Some (Obs.Json.Num c) -> c > 0.0
+          | _ -> false)
+        fields
+    | _ -> false
+  in
+  if not wait_histogram then
+    fail "metrics dump has no non-empty wait_us.* histogram";
+  Printf.printf "profile check: ok (flow pairs, counter tracks, wait \
+                 histograms all present)\n"
+
+let profile workload world m k n out_prefix check =
+  let telemetry = Obs.Telemetry.create () in
+  let cfg =
+    config ~world ~binding:Design_space.Comm_on_dma ~comm_tile:512
+      ~compute_tile:128 ~stages:2 ~ring:true
+  in
+  let name, (cluster, result) =
+    match workload with
+    | `Mlp ->
+      ( "mlp",
+        Mlp.profile_ag_gemm ~config:cfg ~telemetry
+          { Mlp.m; k; n; world_size = world }
+          ~spec_gpu:spec )
+    | `Gemm_rs ->
+      ( "gemm-rs",
+        Mlp.profile_gemm_rs
+          ~config:
+            {
+              cfg with
+              Design_space.comm_order = Tile.Row_major;
+              compute_order = Tile.Ring_prev_first { segments = world };
+              comm_tile = (128, 2048);
+            }
+          ~telemetry
+          { Mlp.rs_m = m; rs_k = k; rs_n = n; rs_world = world }
+          ~spec_gpu:spec )
+    | `Moe ->
+      let moe =
+        {
+          Moe.tokens = m;
+          hidden = k;
+          intermediate = n;
+          experts = 32;
+          topk = 2;
+          world_size = world;
+        }
+      in
+      ( "moe",
+        Moe.profile_part1 ~telemetry moe (Moe.routing moe ~seed:17)
+          ~spec_gpu:spec )
+  in
+  let metrics = Obs.Telemetry.metrics telemetry in
+  let journal = Obs.Telemetry.journal telemetry in
+  Printf.printf "%s: makespan %.1f us, %d signal notifies, journal %d \
+                 events (%d dropped)\n"
+    name result.Tilelink_core.Runtime.makespan
+    result.Tilelink_core.Runtime.notifies (Obs.Journal.length journal)
+    (Obs.Journal.dropped journal);
+  print_wait_report metrics;
+  Printf.printf "per-rank overlap:\n";
+  List.iter
+    (fun r -> Format.printf "  %a@." Report.pp r)
+    (Report.all_ranks (Cluster.trace cluster) ~world_size:world);
+  let prefix =
+    match out_prefix with Some p -> p | None -> "profile_" ^ name
+  in
+  let metrics_path = prefix ^ ".metrics.json" in
+  let prom_path = prefix ^ ".prom" in
+  let perfetto_path = prefix ^ ".perfetto.json" in
+  write_file metrics_path
+    (Obs.Json.to_string ~indent:true (Obs.Metrics.to_json metrics));
+  write_file prom_path (Obs.Metrics.to_prometheus metrics);
+  write_file perfetto_path
+    (Obs.Perfetto.export_string ~trace:(Cluster.trace cluster) ~journal ());
+  Printf.printf "wrote %s, %s, %s (open the last in \
+                 https://ui.perfetto.dev)\n"
+    metrics_path prom_path perfetto_path;
+  if check then check_artifacts ~metrics_path ~perfetto_path
+
+let profile_cmd =
+  let workload_arg =
+    Arg.(
+      value
+      & opt (enum [ ("mlp", `Mlp); ("gemm-rs", `Gemm_rs); ("moe", `Moe) ])
+          `Mlp
+      & info [ "workload" ] ~docv:"mlp|gemm-rs|moe"
+          ~doc:"Workload to profile.")
+  in
+  let out_prefix_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out-prefix" ] ~docv:"PREFIX"
+          ~doc:
+            "Artifact path prefix (default profile_<workload>); writes \
+             PREFIX.metrics.json, PREFIX.prom, PREFIX.perfetto.json.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Re-parse the written artifacts and fail unless flow pairs, \
+             counter tracks and wait histograms are present.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a workload with telemetry enabled and dump the metrics \
+          report, Prometheus text, and an enriched Perfetto trace.")
+    Term.(
+      const profile $ workload_arg $ world_arg $ m_arg $ k_arg $ n_arg
+      $ out_prefix_arg $ check_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "TileLink reproduction: overlapped kernels on a simulated GPU cluster" in
@@ -471,4 +674,5 @@ let () =
             attention_cmd;
             emit_cmd;
             report_cmd;
+            profile_cmd;
           ]))

@@ -115,6 +115,33 @@ let on_dma t ~rank_id ~label body =
       Tilelink_sim.Trace.add t.trace ~rank:rank_id ~lane:Tilelink_sim.Trace.Dma
         ~label ~t0 ~t1:(now t))
 
+(* Snapshot per-rank lane utilization into the metrics registry:
+   fraction of each SM/DMA pool that was busy over the elapsed horizon,
+   plus interconnect byte counts and busy time.  Called after a run so
+   the gauges describe the whole simulation. *)
+let record_utilization t (telemetry : Tilelink_obs.Telemetry.t) =
+  let horizon = now t in
+  if horizon > 0.0 && Tilelink_obs.Telemetry.enabled telemetry then begin
+    let m = Tilelink_obs.Telemetry.metrics telemetry in
+    let gauge fmt = Printf.ksprintf (Tilelink_obs.Metrics.set_gauge m) fmt in
+    Array.iter
+      (fun r ->
+        gauge "util.sm.rank%d" r.id
+          (Tilelink_sim.Resource.utilization r.sms ~horizon);
+        gauge "util.dma.rank%d" r.id
+          (Tilelink_sim.Resource.utilization r.dma ~horizon);
+        gauge "nvlink.bytes.rank%d" r.id
+          (Tilelink_sim.Bandwidth.bytes_moved r.nvlink_egress);
+        gauge "nvlink.busy_us.rank%d" r.id
+          (Tilelink_sim.Bandwidth.busy_time r.nvlink_egress))
+      t.ranks;
+    Array.iteri
+      (fun node nic ->
+        gauge "nic.bytes.node%d" node (Tilelink_sim.Bandwidth.bytes_moved nic);
+        gauge "nic.busy_us.node%d" node (Tilelink_sim.Bandwidth.busy_time nic))
+      t.nics
+  end
+
 (* Convenience: run a full simulation given per-rank process bodies and
    return the makespan. *)
 let run_ranks t bodies =

@@ -46,5 +46,10 @@ val on_sms :
 val on_dma : t -> rank_id:int -> label:string -> (unit -> unit) -> unit
 (** Run [body] while holding one DMA channel; traces the span. *)
 
+val record_utilization : t -> Tilelink_obs.Telemetry.t -> unit
+(** Snapshot per-rank lane-utilization gauges ([util.sm.rank<r>],
+    [util.dma.rank<r>]) and interconnect byte/busy gauges into the
+    telemetry registry, over the elapsed simulation horizon. *)
+
 val run_ranks : t -> (unit -> unit) array -> float
 (** Spawn one process per rank, run to completion, return makespan. *)

@@ -1,0 +1,123 @@
+(* Structured event journal: a bounded ring buffer of typed telemetry
+   events.
+
+   Where the metrics registry aggregates, the journal keeps the raw
+   sequence: every signal set, wait begin/end, tile push/pull, and
+   channel acquire/release, timestamped in simulation time.  The
+   Perfetto exporter mines it to reconstruct notify->wait flow arrows
+   and counter tracks; the deadlock event preserves the context the
+   engine had when a run wedged.  Bounded so a pathological run cannot
+   eat the heap: once full, the oldest entries are overwritten and
+   [dropped] counts what was lost. *)
+
+type event =
+  | Signal_set of { key : string; rank : int; amount : int; value : int }
+      (** A notify landed on channel [key] owned by [rank]; the
+          counter's value after the add is [value]. *)
+  | Wait_begin of { key : string; rank : int; threshold : int }
+  | Wait_end of { key : string; rank : int; threshold : int; started : float }
+  | Tile_push of { label : string; src : int; dst : int; bytes : float }
+  | Tile_pull of { label : string; src : int; dst : int; bytes : float }
+  | Channel_acquire of { rank : int; base : int; extent : int }
+  | Channel_release of { rank : int; base : int; extent : int }
+  | Deadlock of { message : string; blocked : int }
+
+type entry = { t : float; seq : int; event : event }
+
+type t = {
+  capacity : int;
+  buf : entry option array;
+  mutable next : int; (* total events ever recorded *)
+  mutable enabled : bool;
+}
+
+let create ?(capacity = 65536) ?(enabled = true) () =
+  if capacity <= 0 then invalid_arg "Journal.create: capacity";
+  { capacity; buf = Array.make capacity None; next = 0; enabled }
+
+let enabled t = t.enabled
+let set_enabled t flag = t.enabled <- flag
+let capacity t = t.capacity
+
+let record t ~t:time event =
+  if t.enabled then begin
+    t.buf.(t.next mod t.capacity) <- Some { t = time; seq = t.next; event };
+    t.next <- t.next + 1
+  end
+
+let length t = min t.next t.capacity
+let dropped t = max 0 (t.next - t.capacity)
+
+(* Oldest first.  When the ring has wrapped, the oldest live entry sits
+   at [next mod capacity]. *)
+let entries t =
+  let len = length t in
+  let start = if t.next > t.capacity then t.next mod t.capacity else 0 in
+  List.init len (fun i ->
+      match t.buf.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let event_name = function
+  | Signal_set _ -> "signal_set"
+  | Wait_begin _ -> "wait_begin"
+  | Wait_end _ -> "wait_end"
+  | Tile_push _ -> "tile_push"
+  | Tile_pull _ -> "tile_pull"
+  | Channel_acquire _ -> "channel_acquire"
+  | Channel_release _ -> "channel_release"
+  | Deadlock _ -> "deadlock"
+
+let entry_to_json { t = time; seq; event } =
+  let base = [ ("t", Json.Num time); ("seq", Json.Num (float_of_int seq)) ] in
+  let fields =
+    match event with
+    | Signal_set { key; rank; amount; value } ->
+      [
+        ("key", Json.Str key);
+        ("rank", Json.Num (float_of_int rank));
+        ("amount", Json.Num (float_of_int amount));
+        ("value", Json.Num (float_of_int value));
+      ]
+    | Wait_begin { key; rank; threshold } ->
+      [
+        ("key", Json.Str key);
+        ("rank", Json.Num (float_of_int rank));
+        ("threshold", Json.Num (float_of_int threshold));
+      ]
+    | Wait_end { key; rank; threshold; started } ->
+      [
+        ("key", Json.Str key);
+        ("rank", Json.Num (float_of_int rank));
+        ("threshold", Json.Num (float_of_int threshold));
+        ("started", Json.Num started);
+      ]
+    | Tile_push { label; src; dst; bytes }
+    | Tile_pull { label; src; dst; bytes } ->
+      [
+        ("label", Json.Str label);
+        ("src", Json.Num (float_of_int src));
+        ("dst", Json.Num (float_of_int dst));
+        ("bytes", Json.Num bytes);
+      ]
+    | Channel_acquire { rank; base; extent }
+    | Channel_release { rank; base; extent } ->
+      [
+        ("rank", Json.Num (float_of_int rank));
+        ("base", Json.Num (float_of_int base));
+        ("extent", Json.Num (float_of_int extent));
+      ]
+    | Deadlock { message; blocked } ->
+      [
+        ("message", Json.Str message);
+        ("blocked", Json.Num (float_of_int blocked));
+      ]
+  in
+  Json.Obj (("event", Json.Str (event_name event)) :: (base @ fields))
+
+let to_json t =
+  Json.Obj
+    [
+      ("dropped", Json.Num (float_of_int (dropped t)));
+      ("entries", Json.List (List.map entry_to_json (entries t)));
+    ]

@@ -1,0 +1,39 @@
+(** Structured event journal: bounded ring buffer of typed telemetry
+    events, timestamped in simulation microseconds.
+
+    Feeds the Perfetto flow/counter reconstruction; bounded so long
+    runs cannot exhaust memory (oldest entries are overwritten and
+    counted in {!dropped}). *)
+
+type event =
+  | Signal_set of { key : string; rank : int; amount : int; value : int }
+  | Wait_begin of { key : string; rank : int; threshold : int }
+  | Wait_end of { key : string; rank : int; threshold : int; started : float }
+  | Tile_push of { label : string; src : int; dst : int; bytes : float }
+  | Tile_pull of { label : string; src : int; dst : int; bytes : float }
+  | Channel_acquire of { rank : int; base : int; extent : int }
+  | Channel_release of { rank : int; base : int; extent : int }
+  | Deadlock of { message : string; blocked : int }
+
+type entry = { t : float; seq : int; event : event }
+
+type t
+
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+val capacity : t -> int
+
+val record : t -> t:float -> event -> unit
+
+val length : t -> int
+(** Live entries (≤ capacity). *)
+
+val dropped : t -> int
+(** Entries overwritten after the ring wrapped. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val event_name : event -> string
+val to_json : t -> Json.t

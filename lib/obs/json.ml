@@ -1,0 +1,257 @@
+(* Minimal JSON: an AST, a printer, and a recursive-descent parser.
+
+   The telemetry exporters need to *emit* JSON (metrics dumps, Perfetto
+   traces, BENCH_*.json) and the test-suite and `profile --check` need
+   to *re-parse* those artifacts to assert they are well-formed — the
+   container has no JSON library, so both directions live here.  Only
+   what the exporters produce is supported: no streaming, numbers are
+   floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else if Float.is_nan f || Float.is_integer f then "null" (* inf/nan *)
+  else Printf.sprintf "%.6g" f
+
+let rec write buf indent level = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> Buffer.add_string buf (number_to_string f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape_string s);
+    Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    write_seq buf indent level '[' ']'
+      (List.map (fun item -> (None, item)) items)
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    write_seq buf indent level '{' '}'
+      (List.map (fun (k, v) -> (Some k, v)) fields)
+
+and write_seq buf indent level open_c close_c entries =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  Buffer.add_char buf open_c;
+  List.iteri
+    (fun i (key, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      if indent then Buffer.add_char buf '\n';
+      pad (level + 1);
+      (match key with
+      | Some k ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape_string k);
+        Buffer.add_string buf (if indent then "\": " else "\":")
+      | None -> ());
+      write buf indent (level + 1) v)
+    entries;
+  if indent then Buffer.add_char buf '\n';
+  pad level;
+  Buffer.add_char buf close_c
+
+let to_string ?(indent = false) t =
+  let buf = Buffer.create 1024 in
+  write buf indent 0 t;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let parse_exn s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let len = String.length word in
+    if !pos + len <= n && String.sub s !pos len = word then begin
+      pos := !pos + len;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        if !pos >= n then fail "unterminated escape";
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          if !pos + 4 >= n then fail "truncated \\u escape";
+          let hex = String.sub s (!pos + 1) 4 in
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with _ -> fail "bad \\u escape"
+          in
+          pos := !pos + 4;
+          (* Encode the code point as UTF-8 (BMP only — surrogate
+             pairs are not produced by our printers). *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else if code < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char buf
+              (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+        | c -> fail (Printf.sprintf "bad escape %C" c));
+        advance ();
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let numeric c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && numeric s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else Obj (parse_fields [])
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else List (parse_items [])
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  and parse_fields acc =
+    skip_ws ();
+    let key = parse_string () in
+    skip_ws ();
+    expect ':';
+    let v = parse_value () in
+    skip_ws ();
+    match peek () with
+    | Some ',' ->
+      advance ();
+      parse_fields ((key, v) :: acc)
+    | Some '}' ->
+      advance ();
+      List.rev ((key, v) :: acc)
+    | _ -> fail "expected ',' or '}'"
+  and parse_items acc =
+    let v = parse_value () in
+    skip_ws ();
+    match peek () with
+    | Some ',' ->
+      advance ();
+      parse_items (v :: acc)
+    | Some ']' ->
+      advance ();
+      List.rev (v :: acc)
+    | _ -> fail "expected ',' or ']'"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let parse s =
+  match parse_exn s with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function List items -> items | _ -> []
+
+let to_float = function Num f -> Some f | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None

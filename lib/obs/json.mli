@@ -1,0 +1,31 @@
+(** Minimal JSON AST, printer, and parser.
+
+    Backs every telemetry artifact (metrics dumps, Perfetto traces,
+    BENCH_*.json) and lets tests and [profile --check] re-parse what
+    the exporters wrote without an external JSON dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+
+exception Parse_error of string
+
+val parse_exn : string -> t
+(** Raises {!Parse_error} on malformed input. *)
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)
+
+val to_list : t -> t list
+(** Items of a [List]; [[]] on other constructors. *)
+
+val to_float : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,317 @@
+(* Metrics registry: named counters, gauges, and log-bucketed
+   histograms.
+
+   The registry is the always-cheap half of the telemetry subsystem:
+   every recording entry point checks [enabled] first and returns
+   immediately when the registry is off, so instrumented hot paths pay
+   one load and one branch.  Histograms keep both log-spaced bucket
+   counts (for the Prometheus export) and the raw samples (so the
+   p50/p95/p99 summaries are exact, via [Stats.percentile], instead of
+   bucket-boundary estimates). *)
+
+type counter = { mutable c_value : int }
+type gauge = { mutable g_value : float }
+
+(* Growable float array: histograms see one sample per primitive
+   invocation, so appending must not allocate a list cell each time. *)
+type samples = { mutable data : float array; mutable len : int }
+
+let samples_create () = { data = Array.make 64 0.0; len = 0 }
+
+let samples_push s v =
+  if s.len = Array.length s.data then begin
+    let bigger = Array.make (2 * s.len) 0.0 in
+    Array.blit s.data 0 bigger 0 s.len;
+    s.data <- bigger
+  end;
+  s.data.(s.len) <- v;
+  s.len <- s.len + 1
+
+let samples_list s = Array.to_list (Array.sub s.data 0 s.len)
+
+(* Log-spaced bucket upper bounds: 1, 2, 4, ... 2^26 µs (~67 s), plus
+   an implicit +Inf overflow bucket.  Bucket 0 covers (-inf, 1]; bucket
+   i covers (2^(i-1), 2^i]. *)
+let num_bounds = 27
+
+let bucket_bounds =
+  lazy (Array.init num_bounds (fun i -> Float.of_int (1 lsl i)))
+
+let bucket_index v =
+  let bounds = Lazy.force bucket_bounds in
+  let rec go i =
+    if i >= num_bounds then num_bounds else if v <= bounds.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array; (* num_bounds + 1, last is overflow *)
+  h_samples : samples;
+}
+
+type t = {
+  mutable enabled : bool;
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create ?(enabled = true) () =
+  {
+    enabled;
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 32;
+    histograms = Hashtbl.create 32;
+  }
+
+let enabled t = t.enabled
+let set_enabled t flag = t.enabled <- flag
+
+let find_or_add table name fresh =
+  match Hashtbl.find_opt table name with
+  | Some v -> v
+  | None ->
+    let v = fresh () in
+    Hashtbl.add table name v;
+    v
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let inc t ?(by = 1) name =
+  if t.enabled then begin
+    if by < 0 then invalid_arg "Metrics.inc: counters are monotonic";
+    let c = find_or_add t.counters name (fun () -> { c_value = 0 }) in
+    c.c_value <- c.c_value + by
+  end
+
+let set_gauge t name v =
+  if t.enabled then
+    let g = find_or_add t.gauges name (fun () -> { g_value = 0.0 }) in
+    g.g_value <- v
+
+let add_gauge t name v =
+  if t.enabled then
+    let g = find_or_add t.gauges name (fun () -> { g_value = 0.0 }) in
+    g.g_value <- g.g_value +. v
+
+let observe t name v =
+  if t.enabled then begin
+    let h =
+      find_or_add t.histograms name (fun () ->
+          {
+            h_count = 0;
+            h_sum = 0.0;
+            h_min = infinity;
+            h_max = neg_infinity;
+            h_buckets = Array.make (num_bounds + 1) 0;
+            h_samples = samples_create ();
+          })
+    in
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    h.h_min <- Float.min h.h_min v;
+    h.h_max <- Float.max h.h_max v;
+    let i = bucket_index v in
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+    samples_push h.h_samples v
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let counter_value t name =
+  Option.map (fun c -> c.c_value) (Hashtbl.find_opt t.counters name)
+
+let gauge_value t name =
+  Option.map (fun g -> g.g_value) (Hashtbl.find_opt t.gauges name)
+
+type summary = {
+  count : int;
+  sum : float;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let summarize h =
+  let xs = samples_list h.h_samples in
+  let pct p = Tilelink_sim.Stats.percentile p xs in
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    mean = h.h_sum /. float_of_int h.h_count;
+    min = h.h_min;
+    max = h.h_max;
+    p50 = pct 50.0;
+    p95 = pct 95.0;
+    p99 = pct 99.0;
+  }
+
+let summary t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h when h.h_count > 0 -> Some (summarize h)
+  | _ -> None
+
+(* Merge every histogram whose name starts with [prefix] into one
+   summary — e.g. [wait_us.] pools the pc/peer/host wait latencies so
+   reports can quote one per-run wait distribution. *)
+let merged_summary t ~prefix =
+  let matching =
+    Hashtbl.fold
+      (fun name h acc ->
+        if
+          String.length name >= String.length prefix
+          && String.sub name 0 (String.length prefix) = prefix
+        then h :: acc
+        else acc)
+      t.histograms []
+  in
+  let xs = List.concat_map (fun h -> samples_list h.h_samples) matching in
+  match xs with
+  | [] -> None
+  | _ ->
+    let pct p = Tilelink_sim.Stats.percentile p xs in
+    let count = List.length xs in
+    let sum = List.fold_left ( +. ) 0.0 xs in
+    Some
+      {
+        count;
+        sum;
+        mean = sum /. float_of_int count;
+        min = Tilelink_sim.Stats.minimum xs;
+        max = Tilelink_sim.Stats.maximum xs;
+        p50 = pct 50.0;
+        p95 = pct 95.0;
+        p99 = pct 99.0;
+      }
+
+let sorted_names table =
+  Hashtbl.fold (fun name _ acc -> name :: acc) table []
+  |> List.sort String.compare
+
+let counter_names t = sorted_names t.counters
+let gauge_names t = sorted_names t.gauges
+let histogram_names t = sorted_names t.histograms
+
+let histogram_buckets t name =
+  match Hashtbl.find_opt t.histograms name with
+  | None -> None
+  | Some h ->
+    let bounds = Lazy.force bucket_bounds in
+    Some
+      (List.init (num_bounds + 1) (fun i ->
+           let le = if i < num_bounds then bounds.(i) else infinity in
+           (le, h.h_buckets.(i))))
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Prometheus metric names allow [a-zA-Z0-9_:]; dots and brackets from
+   our hierarchical names become underscores. *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun name ->
+      let p = "tilelink_" ^ sanitize name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" p);
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d\n" p (Option.get (counter_value t name))))
+    (counter_names t);
+  List.iter
+    (fun name ->
+      let p = "tilelink_" ^ sanitize name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" p);
+      Buffer.add_string buf
+        (Printf.sprintf "%s %.6g\n" p (Option.get (gauge_value t name))))
+    (gauge_names t);
+  List.iter
+    (fun name ->
+      let p = "tilelink_" ^ sanitize name in
+      let h = Hashtbl.find t.histograms name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" p);
+      let cumulative = ref 0 in
+      List.iter
+        (fun (le, count) ->
+          cumulative := !cumulative + count;
+          let le_str =
+            if Float.is_integer le then Printf.sprintf "%.0f" le else "+Inf"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" p le_str !cumulative))
+        (Option.get (histogram_buckets t name));
+      Buffer.add_string buf (Printf.sprintf "%s_sum %.6g\n" p h.h_sum);
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" p h.h_count))
+    (histogram_names t);
+  Buffer.contents buf
+
+let to_json t =
+  let counters =
+    List.map
+      (fun name ->
+        (name, Json.Num (float_of_int (Option.get (counter_value t name)))))
+      (counter_names t)
+  in
+  let gauges =
+    List.map
+      (fun name -> (name, Json.Num (Option.get (gauge_value t name))))
+      (gauge_names t)
+  in
+  let histograms =
+    List.map
+      (fun name ->
+        let s = Option.get (summary t name) in
+        let buckets =
+          List.filter_map
+            (fun (le, count) ->
+              if count = 0 then None
+              else
+                Some
+                  (Json.Obj
+                     [
+                       ("le", if Float.is_integer le then Json.Num le
+                              else Json.Str "+Inf");
+                       ("count", Json.Num (float_of_int count));
+                     ]))
+            (Option.get (histogram_buckets t name))
+        in
+        ( name,
+          Json.Obj
+            [
+              ("count", Json.Num (float_of_int s.count));
+              ("sum", Json.Num s.sum);
+              ("mean", Json.Num s.mean);
+              ("min", Json.Num s.min);
+              ("max", Json.Num s.max);
+              ("p50", Json.Num s.p50);
+              ("p95", Json.Num s.p95);
+              ("p99", Json.Num s.p99);
+              ("buckets", Json.List buckets);
+            ] ))
+      (histogram_names t)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("histograms", Json.Obj histograms);
+    ]

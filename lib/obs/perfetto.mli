@@ -1,0 +1,23 @@
+(** Enriched Chrome/Perfetto trace export.
+
+    Combines timeline spans with the telemetry journal to add flow
+    events linking each producer notify to the consumer wait it
+    released, counter tracks (outstanding signals, blocked waiters,
+    per-rank egress bandwidth), and deadlock instants.  Open the output
+    at https://ui.perfetto.dev or chrome://tracing. *)
+
+val export :
+  ?bandwidth_slices:int ->
+  trace:Tilelink_sim.Trace.t ->
+  journal:Journal.t ->
+  unit ->
+  Json.t
+(** Full event list.  [bandwidth_slices] (default 64) sets the sample
+    resolution of the egress-bandwidth counter track. *)
+
+val export_string :
+  ?bandwidth_slices:int ->
+  trace:Tilelink_sim.Trace.t ->
+  journal:Journal.t ->
+  unit ->
+  string

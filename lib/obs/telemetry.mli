@@ -1,0 +1,14 @@
+(** The telemetry handle instrumented layers thread through: a metrics
+    registry plus an event journal behind one enable switch. *)
+
+type t = { metrics : Metrics.t; journal : Journal.t }
+
+val create : ?enabled:bool -> ?journal_capacity:int -> unit -> t
+val metrics : t -> Metrics.t
+val journal : t -> Journal.t
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val active : t option -> bool
+(** The one guard hot paths use: [true] only for [Some t] with [t]
+    enabled. *)

@@ -13,6 +13,11 @@ type t = {
   mutable executed : int;
   mutable live_processes : int;
   mutable blocked_processes : int;
+  (* ∫ blocked_processes dt, folded up to [last_blocked_change]: the
+     aggregate time processes spent parked on conditions, the
+     engine-level "how stalled was this run" number telemetry reports. *)
+  mutable blocked_integral : float;
+  mutable last_blocked_change : float;
 }
 
 let create () =
@@ -22,6 +27,8 @@ let create () =
     executed = 0;
     live_processes = 0;
     blocked_processes = 0;
+    blocked_integral = 0.0;
+    last_blocked_change = 0.0;
   }
 
 let now t = t.now
@@ -42,8 +49,26 @@ let schedule_at t ~time thunk =
    is still outstanding. *)
 let process_started t = t.live_processes <- t.live_processes + 1
 let process_finished t = t.live_processes <- t.live_processes - 1
-let process_blocked t = t.blocked_processes <- t.blocked_processes + 1
-let process_unblocked t = t.blocked_processes <- t.blocked_processes - 1
+
+let fold_blocked t =
+  t.blocked_integral <-
+    t.blocked_integral
+    +. (float_of_int t.blocked_processes *. (t.now -. t.last_blocked_change));
+  t.last_blocked_change <- t.now
+
+let process_blocked t =
+  fold_blocked t;
+  t.blocked_processes <- t.blocked_processes + 1
+
+let process_unblocked t =
+  fold_blocked t;
+  t.blocked_processes <- t.blocked_processes - 1
+
+let blocked_time t =
+  t.blocked_integral
+  +. (float_of_int t.blocked_processes *. (t.now -. t.last_blocked_change))
+
+let blocked_processes t = t.blocked_processes
 
 let step t =
   match Pqueue.pop t.events with

@@ -14,6 +14,13 @@ val now : t -> float
 val executed_events : t -> int
 val pending_events : t -> int
 
+val blocked_time : t -> float
+(** ∫ blocked_processes dt since creation, in process·µs: the
+    aggregate time processes spent parked on unsatisfied conditions. *)
+
+val blocked_processes : t -> int
+(** Processes currently parked on a condition. *)
+
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at [now t +. delay]. *)
 

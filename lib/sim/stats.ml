@@ -35,6 +35,25 @@ let stddev xs =
     in
     sqrt var
 
+(* Nearest-rank percentile (the classic "ceil(p/100 * n)-th smallest"
+   definition): exact for the samples given, no interpolation, so p50 of
+   [1;2;3;4] is 2 rather than 2.5.  Edge cases: [p <= 0] returns the
+   minimum, [p >= 100] the maximum, and the empty list is an error
+   because no rank exists. *)
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | xs ->
+    let sorted = List.sort Float.compare xs in
+    let n = List.length sorted in
+    let rank =
+      if p <= 0.0 then 1
+      else if p >= 100.0 then n
+      else
+        let r = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+        max 1 (min n r)
+    in
+    List.nth sorted (rank - 1)
+
 let percent_of ~base x = if base = 0.0 then 0.0 else x /. base *. 100.0
 
 let speedup ~baseline ~candidate =

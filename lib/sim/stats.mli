@@ -5,6 +5,13 @@ val geomean : float list -> float
 val minimum : float list -> float
 val maximum : float list -> float
 val stddev : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] is the nearest-rank p-th percentile of [xs]: the
+    [ceil (p/100 * n)]-th smallest sample, with no interpolation.
+    [p <= 0.] yields the minimum, [p >= 100.] the maximum.  Raises
+    [Invalid_argument] on the empty list. *)
+
 val percent_of : base:float -> float -> float
 
 val speedup : baseline:float -> candidate:float -> float

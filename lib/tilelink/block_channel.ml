@@ -35,8 +35,39 @@ let lower_config t : Lower.config =
   { Lower.mapping = t.mapping; rank = t.rank; world_size = t.world_size }
 
 (* Lower a statement list in this context, applying the channel-base
-   offset to every producer/consumer signal target. *)
-let lower t stmts =
+   offset to every producer/consumer signal target.
+
+   With [telemetry], lowering also reports the static shape of the
+   signal fabric it is about to occupy: a [Channel_acquire] journal
+   event for the channel range (timestamped 0 — lowering happens before
+   simulation time starts) and counters for how many wait/notify
+   instructions the tile-centric primitives expanded into. *)
+let lower ?telemetry t stmts =
+  if Tilelink_obs.Telemetry.active telemetry then begin
+    let tele = Option.get telemetry in
+    Tilelink_obs.Journal.record
+      (Tilelink_obs.Telemetry.journal tele)
+      ~t:0.0
+      (Tilelink_obs.Journal.Channel_acquire
+         { rank = t.rank; base = t.channel_base; extent = channel_extent t })
+  end;
+  let note_instr = function
+    | Instr.Wait _ ->
+      Option.iter
+        (fun tele ->
+          Tilelink_obs.Metrics.inc
+            (Tilelink_obs.Telemetry.metrics tele)
+            "lowered.waits")
+        telemetry
+    | Instr.Notify _ ->
+      Option.iter
+        (fun tele ->
+          Tilelink_obs.Metrics.inc
+            (Tilelink_obs.Telemetry.metrics tele)
+            "lowered.notifies")
+        telemetry
+    | _ -> ()
+  in
   let shift = function
     | Instr.Wait { target = Instr.Pc { rank; channel }; threshold; guards } ->
       Instr.Wait
@@ -55,4 +86,9 @@ let lower t stmts =
         }
     | instr -> instr
   in
-  List.map shift (Lower.lower (lower_config t) stmts)
+  List.map
+    (fun instr ->
+      let shifted = shift instr in
+      if Tilelink_obs.Telemetry.active telemetry then note_instr shifted;
+      shifted)
+    (Lower.lower (lower_config t) stmts)

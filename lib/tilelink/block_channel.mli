@@ -19,6 +19,10 @@ val peer_channels : t -> int
 val channel_extent : t -> int
 val lower_config : t -> Lower.config
 
-val lower : t -> Primitive.t list -> Instr.t list
+val lower :
+  ?telemetry:Tilelink_obs.Telemetry.t -> t -> Primitive.t list -> Instr.t list
 (** Lower statements in this context, offsetting producer/consumer
-    channel ids by [channel_base]. *)
+    channel ids by [channel_base].  With [telemetry], records a
+    [Channel_acquire] journal event for the occupied channel range and
+    counts the wait/notify instructions the primitives lowered into
+    ([lowered.waits] / [lowered.notifies]). *)

@@ -15,9 +15,58 @@ type t = {
   peer : Tilelink_sim.Counter.t array array array;
   (* host channels: [dst_rank].(src_rank) *)
   host : Tilelink_sim.Counter.t array array;
+  (* Telemetry sink plus the simulation clock that timestamps its
+     events.  [None] (the default) keeps the original zero-overhead
+     signal path. *)
+  telemetry : Tilelink_obs.Telemetry.t option;
+  clock : unit -> float;
 }
 
-let create ~world_size ~channels_per_rank ?(peer_channels = 1) () =
+(* Instrumented notify: record the post-add counter value so the
+   Perfetto exporter can pair each wait with the notify whose
+   cumulative value first reached its threshold. *)
+let notify_instr t ~kind ~rank counter ~amount =
+  Tilelink_sim.Counter.add counter amount;
+  if Tilelink_obs.Telemetry.active t.telemetry then begin
+    let tele = Option.get t.telemetry in
+    Tilelink_obs.Metrics.inc
+      (Tilelink_obs.Telemetry.metrics tele)
+      ("notifies." ^ kind);
+    Tilelink_obs.Journal.record
+      (Tilelink_obs.Telemetry.journal tele)
+      ~t:(t.clock ())
+      (Tilelink_obs.Journal.Signal_set
+         {
+           key = Tilelink_sim.Counter.name counter;
+           rank;
+           amount;
+           value = Tilelink_sim.Counter.value counter;
+         })
+  end
+
+(* Instrumented wait: journal begin/end (even for waits that are
+   satisfied immediately — a zero-latency wait is still a pairing
+   point) and feed the per-primitive wait-latency histogram. *)
+let wait_instr t ~kind ~rank counter ~threshold =
+  if Tilelink_obs.Telemetry.active t.telemetry then begin
+    let tele = Option.get t.telemetry in
+    let journal = Tilelink_obs.Telemetry.journal tele in
+    let key = Tilelink_sim.Counter.name counter in
+    let t0 = t.clock () in
+    Tilelink_obs.Journal.record journal ~t:t0
+      (Tilelink_obs.Journal.Wait_begin { key; rank; threshold });
+    Tilelink_sim.Counter.await_ge counter threshold;
+    let t1 = t.clock () in
+    Tilelink_obs.Journal.record journal ~t:t1
+      (Tilelink_obs.Journal.Wait_end { key; rank; threshold; started = t0 });
+    let metrics = Tilelink_obs.Telemetry.metrics tele in
+    Tilelink_obs.Metrics.inc metrics ("waits." ^ kind);
+    Tilelink_obs.Metrics.observe metrics ("wait_us." ^ kind) (t1 -. t0)
+  end
+  else Tilelink_sim.Counter.await_ge counter threshold
+
+let create ~world_size ~channels_per_rank ?(peer_channels = 1) ?telemetry
+    ?(clock = fun () -> 0.0) () =
   if world_size <= 0 then invalid_arg "Channel.create: world_size";
   if channels_per_rank <= 0 then
     invalid_arg "Channel.create: channels_per_rank";
@@ -25,6 +74,8 @@ let create ~world_size ~channels_per_rank ?(peer_channels = 1) () =
   {
     world_size;
     channels_per_rank;
+    telemetry;
+    clock;
     pc =
       Array.init world_size (fun r ->
           Array.init channels_per_rank (fun c ->
@@ -55,12 +106,12 @@ let check_channel t c label =
 let pc_notify t ~rank ~channel ~amount =
   check_rank t rank "pc_notify";
   check_channel t channel "pc_notify";
-  Tilelink_sim.Counter.add t.pc.(rank).(channel) amount
+  notify_instr t ~kind:"pc" ~rank t.pc.(rank).(channel) ~amount
 
 let pc_wait t ~rank ~channel ~threshold =
   check_rank t rank "pc_wait";
   check_channel t channel "pc_wait";
-  Tilelink_sim.Counter.await_ge t.pc.(rank).(channel) threshold
+  wait_instr t ~kind:"pc" ~rank t.pc.(rank).(channel) ~threshold
 
 let pc_value t ~rank ~channel =
   check_rank t rank "pc_value";
@@ -71,12 +122,12 @@ let pc_value t ~rank ~channel =
 let peer_notify t ~src ~dst ?(channel = 0) ~amount () =
   check_rank t src "peer_notify";
   check_rank t dst "peer_notify";
-  Tilelink_sim.Counter.add t.peer.(dst).(src).(channel) amount
+  notify_instr t ~kind:"peer" ~rank:src t.peer.(dst).(src).(channel) ~amount
 
 let peer_wait t ~src ~dst ?(channel = 0) ~threshold () =
   check_rank t src "peer_wait";
   check_rank t dst "peer_wait";
-  Tilelink_sim.Counter.await_ge t.peer.(dst).(src).(channel) threshold
+  wait_instr t ~kind:"peer" ~rank:dst t.peer.(dst).(src).(channel) ~threshold
 
 let peer_value t ~src ~dst ?(channel = 0) () =
   Tilelink_sim.Counter.value t.peer.(dst).(src).(channel)
@@ -85,12 +136,12 @@ let peer_value t ~src ~dst ?(channel = 0) () =
 let host_notify t ~src ~dst ~amount =
   check_rank t src "host_notify";
   check_rank t dst "host_notify";
-  Tilelink_sim.Counter.add t.host.(dst).(src) amount
+  notify_instr t ~kind:"host" ~rank:src t.host.(dst).(src) ~amount
 
 let host_wait t ~src ~dst ~threshold =
   check_rank t src "host_wait";
   check_rank t dst "host_wait";
-  Tilelink_sim.Counter.await_ge t.host.(dst).(src) threshold
+  wait_instr t ~kind:"host" ~rank:dst t.host.(dst).(src) ~threshold
 
 let total_notifies t =
   let sum = ref 0 in

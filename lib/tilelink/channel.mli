@@ -5,7 +5,17 @@
 type t
 
 val create :
-  world_size:int -> channels_per_rank:int -> ?peer_channels:int -> unit -> t
+  world_size:int ->
+  channels_per_rank:int ->
+  ?peer_channels:int ->
+  ?telemetry:Tilelink_obs.Telemetry.t ->
+  ?clock:(unit -> float) ->
+  unit ->
+  t
+(** With [telemetry], every notify/wait records a journal event
+    ([clock] supplies the simulation time) and feeds per-primitive
+    counters and wait-latency histograms ([wait_us.pc] / [.peer] /
+    [.host]).  Without it the signal path is unchanged. *)
 
 val world_size : t -> int
 val channels_per_rank : t -> int

@@ -63,13 +63,15 @@ let exec_notify channels ~rank:_ (target : Instr.signal_target) ~amount =
     Channel.peer_notify channels ~src ~dst ~channel ~amount ()
   | Instr.Host { src; dst } -> Channel.host_notify channels ~src ~dst ~amount
 
+module Obs = Tilelink_obs
+
 (* Execute one instruction on behalf of [rank], on a worker of a role
    bound to [lane].  [worker_sms] is how many SMs this worker stands
    for (1 for an SM worker, irrelevant for DMA/host).  [interference]
    multiplies compute durations when a fused kernel also runs
    communication on the same chip. *)
-let exec_instr cluster channels memory ~data ~rank ~lane ~worker_sms
-    ~comm_active ~pending_loads ~label instr =
+let exec_instr cluster channels memory ~telemetry ~data ~rank ~lane
+    ~worker_sms ~comm_active ~pending_loads ~label instr =
   let spec = Cluster.spec cluster in
   let trace = Cluster.trace cluster in
   let now () = Cluster.now cluster in
@@ -96,7 +98,8 @@ let exec_instr cluster channels memory ~data ~rank ~lane ~worker_sms
           else acc)
         (now ()) !pending_loads
     in
-    if ready > now () then Process.wait (ready -. now ());
+    let issue = now () in
+    if ready > issue then Process.wait (ready -. issue);
     (* Fusion interference applies only while a communication role is
        actually running on this rank: L2 pollution, scheduler and HBM
        contention vanish once the comm side drains. *)
@@ -108,6 +111,13 @@ let exec_instr cluster channels memory ~data ~rank ~lane ~worker_sms
     let t0 = now () in
     if duration > 0.0 then Process.wait duration;
     Trace.add trace ~rank ~lane ~label:clabel ~t0 ~t1:(now ());
+    if Obs.Telemetry.active telemetry then begin
+      let m = Obs.Telemetry.metrics (Option.get telemetry) in
+      Obs.Metrics.inc m "tiles.compute";
+      Obs.Metrics.observe m "compute_us" (now () -. t0);
+      if ready > issue then
+        Obs.Metrics.observe m "load_stall_us" (ready -. issue)
+    end;
     if data then Option.iter (fun act -> act memory ~rank) action
   | Instr.Copy { label = clabel; src; dst; bytes; action } ->
     let src_rank = resolve_rank ~self:rank src.Instr.mem_rank in
@@ -124,6 +134,25 @@ let exec_instr cluster channels memory ~data ~rank ~lane ~worker_sms
     end
     else Cluster.transfer cluster ~src:src_rank ~dst:dst_rank ~bytes;
     Trace.add trace ~rank ~lane ~label:clabel ~t0 ~t1:(now ());
+    if Obs.Telemetry.active telemetry then begin
+      let tele = Option.get telemetry in
+      let m = Obs.Telemetry.metrics tele in
+      Obs.Metrics.inc m "tiles.copy";
+      Obs.Metrics.add_gauge m "bytes.copied" bytes;
+      Obs.Metrics.observe m "copy_us" (now () -. t0);
+      if src_rank <> dst_rank then
+        (* A copy whose destination is the executing rank fetched a
+           remote tile (pull); one that lands remotely pushed ours. *)
+        Obs.Journal.record
+          (Obs.Telemetry.journal tele)
+          ~t:(now ())
+          (if dst_rank = rank then
+             Obs.Journal.Tile_pull
+               { label = clabel; src = src_rank; dst = dst_rank; bytes }
+           else
+             Obs.Journal.Tile_push
+               { label = clabel; src = src_rank; dst = dst_rank; bytes })
+    end;
     if data then begin
       match action with
       | Some act -> act memory ~rank
@@ -159,12 +188,12 @@ let split_leading_waits instrs =
    queue, acquiring one unit of [unit_pool] per task; wave scheduling
    (ceil(tiles / workers) waves) and dynamic sharing of idle units
    across roles both emerge. *)
-let worker_body cluster channels memory ~data ~rank ~lane ~worker_sms
-    ~comm_active ~unit_pool queue () =
+let worker_body cluster channels memory ~telemetry ~data ~rank ~lane
+    ~worker_sms ~comm_active ~unit_pool queue () =
   let pending_loads = ref [] in
   let exec =
-    exec_instr cluster channels memory ~data ~rank ~lane ~worker_sms
-      ~comm_active ~pending_loads
+    exec_instr cluster channels memory ~telemetry ~data ~rank ~lane
+      ~worker_sms ~comm_active ~pending_loads
   in
   let rec loop () =
     match
@@ -191,7 +220,7 @@ let is_comm_lane = function
   | Trace.Comm_sm | Trace.Dma | Trace.Host | Trace.Link -> true
   | Trace.Compute_sm | Trace.Wait -> false
 
-let run_role cluster channels memory ~data ~rank ~comm_active
+let run_role cluster channels memory ~telemetry ~data ~rank ~comm_active
     (role : Program.role) () =
   let spec = Cluster.spec cluster in
   let cluster_rank = Cluster.rank cluster rank in
@@ -206,7 +235,7 @@ let run_role cluster channels memory ~data ~rank ~comm_active
     let join =
       Process.spawn_all (Cluster.engine cluster)
         (List.init count (fun _ ->
-             worker_body cluster channels memory ~data ~rank
+             worker_body cluster channels memory ~telemetry ~data ~rank
                ~lane:role.Program.lane ~worker_sms:1 ~comm_active
                ~unit_pool queue))
     in
@@ -219,11 +248,11 @@ let run_role cluster channels memory ~data ~rank ~comm_active
     run_workers count (Some cluster_rank.Cluster.dma)
   | Program.Host_stream ->
     let queue = ref role.Program.tasks in
-    worker_body cluster channels memory ~data ~rank
+    worker_body cluster channels memory ~telemetry ~data ~rank
       ~lane:role.Program.lane ~worker_sms:1 ~comm_active ~unit_pool:None
       queue ()
 
-let run ?(data = false) ?memory cluster (program : Program.t) =
+let run ?telemetry ?(data = false) ?memory cluster (program : Program.t) =
   (match Program.validate program with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Runtime.run: invalid program: " ^ msg));
@@ -238,7 +267,9 @@ let run ?(data = false) ?memory cluster (program : Program.t) =
     Channel.create
       ~world_size:(Program.world_size program)
       ~channels_per_rank:program.Program.pc_channels
-      ~peer_channels:program.Program.peer_channels ()
+      ~peer_channels:program.Program.peer_channels ?telemetry
+      ~clock:(fun () -> Cluster.now cluster)
+      ()
   in
   let start = Cluster.now cluster in
   Array.iteri
@@ -249,10 +280,33 @@ let run ?(data = false) ?memory cluster (program : Program.t) =
       List.iter
         (fun role ->
           Process.spawn (Cluster.engine cluster)
-            (run_role cluster channels memory ~data ~rank ~comm_active role))
+            (run_role cluster channels memory ~telemetry ~data ~rank
+               ~comm_active role))
         plan)
     (Program.plans program);
-  Engine.run (Cluster.engine cluster);
+  let engine = Cluster.engine cluster in
+  (try Engine.run engine
+   with Engine.Deadlock msg as exn ->
+     (* Preserve the context the engine had when the run wedged: the
+        journal keeps it next to the signal history that explains it. *)
+     if Obs.Telemetry.active telemetry then
+       Obs.Journal.record
+         (Obs.Telemetry.journal (Option.get telemetry))
+         ~t:(Cluster.now cluster)
+         (Obs.Journal.Deadlock
+            { message = msg; blocked = Engine.blocked_processes engine });
+     raise exn);
+  if Obs.Telemetry.active telemetry then begin
+    let tele = Option.get telemetry in
+    let m = Obs.Telemetry.metrics tele in
+    Obs.Metrics.set_gauge m "engine.events_executed"
+      (float_of_int (Engine.executed_events engine));
+    Obs.Metrics.set_gauge m "engine.blocked_time_us"
+      (Engine.blocked_time engine);
+    Obs.Metrics.set_gauge m "engine.makespan_us"
+      (Cluster.now cluster -. start);
+    Cluster.record_utilization cluster tele
+  end;
   {
     makespan = Cluster.now cluster -. start;
     channels;

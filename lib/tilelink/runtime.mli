@@ -9,9 +9,16 @@ type result = {
 }
 
 val run :
+  ?telemetry:Tilelink_obs.Telemetry.t ->
   ?data:bool -> ?memory:Memory.t -> Tilelink_machine.Cluster.t ->
   Program.t -> result
 (** Execute the program to completion.  With [~data:true], [Copy] and
     [Compute] instructions also mutate [memory] (defaults to a fresh
-    empty memory).  Raises on invalid programs; a schedule with missing
-    signals raises {!Tilelink_sim.Engine.Deadlock}. *)
+    empty memory).  With [~telemetry], the run records per-primitive
+    wait-latency histograms, tile/copy counters, journal events for
+    every signal and remote tile movement, engine-level gauges
+    (events executed, blocked time), and per-rank lane-utilization
+    gauges; disabled or absent telemetry adds no events.  Raises on
+    invalid programs; a schedule with missing signals raises
+    {!Tilelink_sim.Engine.Deadlock} (recorded in the journal first
+    when telemetry is on). *)

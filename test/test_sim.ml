@@ -359,6 +359,22 @@ let test_trace_busy_time_merges () =
     (Trace.busy_time ~pred:(fun s -> s.Trace.lane = Trace.Dma) tr);
   check_float "duration" 12.0 (Trace.duration tr)
 
+let test_trace_busy_time_nested_adjacent () =
+  let tr = Trace.create () in
+  (* Nested: [0,10] fully contains [2,4] and [5,9]. *)
+  Trace.add tr ~rank:0 ~lane:Trace.Compute_sm ~label:"outer" ~t0:0.0 ~t1:10.0;
+  Trace.add tr ~rank:0 ~lane:Trace.Compute_sm ~label:"in1" ~t0:2.0 ~t1:4.0;
+  Trace.add tr ~rank:0 ~lane:Trace.Compute_sm ~label:"in2" ~t0:5.0 ~t1:9.0;
+  check_float "nested spans collapse" 10.0 (Trace.busy_time tr);
+  (* Adjacent: [10,12] touches [12,15] with no gap. *)
+  Trace.add tr ~rank:0 ~lane:Trace.Dma ~label:"left" ~t0:10.0 ~t1:12.0;
+  Trace.add tr ~rank:0 ~lane:Trace.Dma ~label:"right" ~t0:12.0 ~t1:15.0;
+  check_float "adjacent spans fuse" 15.0 (Trace.busy_time tr);
+  (* Identical duplicates count once. *)
+  Trace.add tr ~rank:1 ~lane:Trace.Dma ~label:"dup" ~t0:20.0 ~t1:21.0;
+  Trace.add tr ~rank:1 ~lane:Trace.Dma ~label:"dup" ~t0:20.0 ~t1:21.0;
+  check_float "duplicates collapse" 16.0 (Trace.busy_time tr)
+
 let string_contains haystack needle =
   let hl = String.length haystack and nl = String.length needle in
   let rec scan i =
@@ -491,6 +507,47 @@ let test_stats_basic () =
   check_float "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
   check_float "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ])
 
+let test_stats_percentile () =
+  let xs = List.init 10 (fun i -> float_of_int (i + 1)) in
+  (* Nearest rank: ceil(p/100 * n)-th smallest, no interpolation. *)
+  check_float "p50 of 1..10" 5.0 (Stats.percentile 50.0 xs);
+  check_float "p90 of 1..10" 9.0 (Stats.percentile 90.0 xs);
+  check_float "p91 rounds up" 10.0 (Stats.percentile 91.0 xs);
+  check_float "p0 is min" 1.0 (Stats.percentile 0.0 xs);
+  check_float "negative p clamps to min" 1.0 (Stats.percentile (-5.0) xs);
+  check_float "p100 is max" 10.0 (Stats.percentile 100.0 xs);
+  check_float "p>100 clamps to max" 10.0 (Stats.percentile 150.0 xs);
+  check_float "singleton" 7.0 (Stats.percentile 99.0 [ 7.0 ]);
+  check_float "unsorted input" 3.0
+    (Stats.percentile 50.0 [ 9.0; 1.0; 3.0; 2.0; 7.0 ]);
+  Alcotest.(check bool) "empty list rejected" true
+    (try
+       ignore (Stats.percentile 50.0 []);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~name:"percentile stays within [min, max]" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 30) (float_range (-100.0) 100.0))
+        (float_range (-10.0) 110.0))
+    (fun (xs, p) ->
+      let v = Stats.percentile p xs in
+      Stats.minimum xs <= v && v <= Stats.maximum xs)
+
+let test_engine_blocked_time () =
+  let engine = Engine.create () in
+  let c = Counter.create () in
+  Process.spawn engine (fun () -> Counter.await_ge c 1);
+  Process.spawn engine (fun () ->
+      Process.wait 3.0;
+      Counter.add c 1);
+  Engine.run engine;
+  check_float "one process blocked for 3us" 3.0 (Engine.blocked_time engine);
+  Alcotest.(check int) "nobody left blocked" 0
+    (Engine.blocked_processes engine)
+
 let prop_geomean_le_mean =
   QCheck.Test.make ~name:"geomean <= mean for positive samples" ~count:200
     QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.1 100.0))
@@ -551,6 +608,8 @@ let () =
         [
           Alcotest.test_case "busy time merges" `Quick
             test_trace_busy_time_merges;
+          Alcotest.test_case "nested and adjacent spans" `Quick
+            test_trace_busy_time_nested_adjacent;
           Alcotest.test_case "render" `Quick test_trace_render_nonempty;
         ] );
       ( "edges",
@@ -573,6 +632,13 @@ let () =
       ( "stats",
         [
           Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
           qc prop_geomean_le_mean;
+          qc prop_percentile_bounded;
+        ] );
+      ( "blocked time",
+        [
+          Alcotest.test_case "counter wait accounted" `Quick
+            test_engine_blocked_time;
         ] );
     ]
