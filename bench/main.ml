@@ -3,6 +3,13 @@
 
      dune exec bench/main.exe             -- everything
      dune exec bench/main.exe table2 fig10  -- a subset
+     dune exec bench/main.exe -- --json --jobs 4   -- parallel sweep
+
+   Flags:
+     --jobs N     evaluate independent grid points on N domains
+                  (default 1: sequential, identical output either way)
+     --no-cache   do not consult/update BENCH_cache.json in --json mode
+     --cache F    use F instead of BENCH_cache.json
 
    Artifacts:
      table1  feature comparison (Table 1)
@@ -25,6 +32,18 @@ module Design_space = Tilelink_core.Design_space
 
 let spec = Calib.h800
 let world = 8
+
+module Exec = Tilelink_exec
+
+(* Set once from the command line before any artifact runs.  Every
+   grid map below goes through [par_map]: with --jobs 1 it degrades to
+   the sequential path bit for bit. *)
+let pool : Exec.Pool.t option ref = ref None
+let jobs = ref 1
+let use_cache = ref true
+let cache_file = ref "BENCH_cache.json"
+
+let par_map f xs = List.map Exec.Pool.get (Exec.Pool.map !pool f xs)
 
 let heading title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -153,7 +172,7 @@ let table2 () =
 
 let fig8 () =
   heading "Figure 8: MLP layers on 8 x H800-sim";
-  let rows = List.map measure_mlp Shapes.mlp_configs in
+  let rows = par_map measure_mlp Shapes.mlp_configs in
   List.iter
     (fun row ->
       Printf.printf "%s (%s):\n" row.shape.Shapes.mlp_name
@@ -191,25 +210,36 @@ let run_program program =
   in
   (Tilelink_core.Runtime.run cluster program).Tilelink_core.Runtime.makespan
 
+(* Pure per-shape measurement so the grid can fan out over the pool;
+   printing happens afterwards, in shape order. *)
+let measure_moe (c : Shapes.moe) =
+  let moe = Moe_baselines.spec_of_shape c ~world_size:world in
+  let route = Moe.routing moe ~seed:17 in
+  let p1_cublas = Moe_baselines.cublas_part1 spec moe route in
+  let p1_cutlass = Moe_baselines.cutlass_part1 spec moe route in
+  let p1_vllm = Moe_baselines.vllm_part1 spec moe route in
+  let p1_tl = run_program (Moe.part1_program moe route ~spec_gpu:spec) in
+  let p2_cublas = Moe_baselines.cublas_part2 spec moe route in
+  let p2_cutlass = Moe_baselines.cutlass_part2 spec moe route in
+  let p2_vllm = Moe_baselines.vllm_part2 spec moe route in
+  let p2_tl = run_program (Moe.part2_program moe route ~spec_gpu:spec) in
+  let act = Moe_baselines.act_time spec moe in
+  ( c,
+    (p1_cublas, p1_cutlass, p1_vllm, p1_tl),
+    (p2_cublas, p2_cutlass, p2_vllm, p2_tl),
+    ( p1_cublas +. act +. p2_cublas,
+      p1_vllm +. act +. p2_vllm,
+      p1_tl +. act +. p2_tl ) )
+
 let fig9 () =
   heading "Figure 9: MoE layers on 8 x H800-sim";
+  let rows = par_map measure_moe Shapes.moe_configs in
   let geo = ref [] in
   List.iter
-    (fun (c : Shapes.moe) ->
-      let moe = Moe_baselines.spec_of_shape c ~world_size:world in
-      let route = Moe.routing moe ~seed:17 in
-      let p1_cublas = Moe_baselines.cublas_part1 spec moe route in
-      let p1_cutlass = Moe_baselines.cutlass_part1 spec moe route in
-      let p1_vllm = Moe_baselines.vllm_part1 spec moe route in
-      let p1_tl = run_program (Moe.part1_program moe route ~spec_gpu:spec) in
-      let p2_cublas = Moe_baselines.cublas_part2 spec moe route in
-      let p2_cutlass = Moe_baselines.cutlass_part2 spec moe route in
-      let p2_vllm = Moe_baselines.vllm_part2 spec moe route in
-      let p2_tl = run_program (Moe.part2_program moe route ~spec_gpu:spec) in
-      let act = Moe_baselines.act_time spec moe in
-      let full_cublas = p1_cublas +. act +. p2_cublas in
-      let full_vllm = p1_vllm +. act +. p2_vllm in
-      let full_tl = p1_tl +. act +. p2_tl in
+    (fun ( (c : Shapes.moe),
+           (p1_cublas, p1_cutlass, p1_vllm, p1_tl),
+           (p2_cublas, p2_cutlass, p2_vllm, p2_tl),
+           (full_cublas, full_vllm, full_tl) ) ->
       Printf.printf "%s (E=%d topk=%d):\n" c.Shapes.moe_name c.Shapes.experts
         c.Shapes.topk;
       Printf.printf
@@ -228,7 +258,7 @@ let fig9 () =
         (ms full_cublas) (ms full_vllm) (ms full_tl) (full_vllm /. full_tl)
         (full_cublas /. full_tl);
       geo := (full_vllm /. full_tl, full_cublas /. full_tl) :: !geo)
-    Shapes.moe_configs;
+    rows;
   let vllm_ratio = Tilelink_sim.Stats.geomean (List.map fst !geo) in
   let cublas_max = Tilelink_sim.Stats.maximum (List.map snd !geo) in
   Printf.printf
@@ -671,6 +701,15 @@ let bench_row ~config_name ~kernel (cluster, result) telemetry =
       ("wait_us", wait_json telemetry);
     ]
 
+(* A row spec pairs a stable descriptor (the row's identity in the
+   evaluation cache) with the thunk that computes it on a miss.  The
+   descriptor covers everything the row depends on — suite, kernel,
+   shape, machine fingerprint and schedule fingerprint — so a cache hit
+   is guaranteed to replay the very same simulation result. *)
+type row_spec = { descr : string; compute : unit -> Obs.Json.t }
+
+let machine_id = Printf.sprintf "%s|world=%d" (Spec.fingerprint spec) world
+
 (* Fixed representative configs (not tuned — the point is a stable
    measurement, comparable across commits).  The AG comm tile must
    divide the row shard (8192/8 = 1024) and the RS column tile must
@@ -716,51 +755,137 @@ let bench_json_mlp () =
           stages = 2;
         }
       in
-      let ag_tel = Obs.Telemetry.create () in
-      let ag_run =
-        Mlp.profile_ag_gemm ~config:ag_config ~telemetry:ag_tel ag_spec
-          ~spec_gpu:spec
-      in
-      let rs_tel = Obs.Telemetry.create () in
-      let rs_run =
-        Mlp.profile_gemm_rs ~config:rs_config ~telemetry:rs_tel rs_spec
-          ~spec_gpu:spec
+      let shape_id =
+        Printf.sprintf "s=%d,h=%d,i=%d" c.Shapes.s c.Shapes.h c.Shapes.i
       in
       [
-        bench_row ~config_name:c.Shapes.mlp_name ~kernel:"ag_gemm" ag_run
-          ag_tel;
-        bench_row ~config_name:c.Shapes.mlp_name ~kernel:"gemm_rs" rs_run
-          rs_tel;
+        {
+          descr =
+            Printf.sprintf "bench-v1|mlp|ag_gemm|%s|%s|%s" shape_id machine_id
+              (Design_space.fingerprint ag_config);
+          compute =
+            (fun () ->
+              let tel = Obs.Telemetry.create () in
+              let run =
+                Mlp.profile_ag_gemm ~config:ag_config ~telemetry:tel ag_spec
+                  ~spec_gpu:spec
+              in
+              bench_row ~config_name:c.Shapes.mlp_name ~kernel:"ag_gemm" run
+                tel);
+        };
+        {
+          descr =
+            Printf.sprintf "bench-v1|mlp|gemm_rs|%s|%s|%s" shape_id machine_id
+              (Design_space.fingerprint rs_config);
+          compute =
+            (fun () ->
+              let tel = Obs.Telemetry.create () in
+              let run =
+                Mlp.profile_gemm_rs ~config:rs_config ~telemetry:tel rs_spec
+                  ~spec_gpu:spec
+              in
+              bench_row ~config_name:c.Shapes.mlp_name ~kernel:"gemm_rs" run
+                tel);
+        };
       ])
     Shapes.mlp_configs
 
 let bench_json_moe () =
   List.concat_map
     (fun (c : Shapes.moe) ->
-      let moe = Moe_baselines.spec_of_shape c ~world_size:world in
-      let route = Moe.routing moe ~seed:17 in
-      let t1 = Obs.Telemetry.create () in
-      let r1 = Moe.profile_part1 ~telemetry:t1 moe route ~spec_gpu:spec in
-      let t2 = Obs.Telemetry.create () in
-      let r2 = Moe.profile_part2 ~telemetry:t2 moe route ~spec_gpu:spec in
+      let shape_id =
+        Printf.sprintf "s=%d,h=%d,i=%d,e=%d,topk=%d,seed=17" c.Shapes.moe_s
+          c.Shapes.moe_h c.Shapes.moe_i c.Shapes.experts c.Shapes.topk
+      in
+      let part kernel profile =
+        {
+          descr =
+            Printf.sprintf "bench-v1|moe|%s|%s|%s|config=default" kernel
+              shape_id machine_id;
+          compute =
+            (fun () ->
+              let moe = Moe_baselines.spec_of_shape c ~world_size:world in
+              let route = Moe.routing moe ~seed:17 in
+              let tel = Obs.Telemetry.create () in
+              let run = profile ~telemetry:tel moe route ~spec_gpu:spec in
+              bench_row ~config_name:c.Shapes.moe_name ~kernel run tel);
+        }
+      in
       [
-        bench_row ~config_name:c.Shapes.moe_name ~kernel:"moe_part1" r1 t1;
-        bench_row ~config_name:c.Shapes.moe_name ~kernel:"moe_part2" r2 t2;
+        part "moe_part1" (fun ~telemetry moe route ~spec_gpu ->
+            Moe.profile_part1 ~telemetry moe route ~spec_gpu);
+        part "moe_part2" (fun ~telemetry moe route ~spec_gpu ->
+            Moe.profile_part2 ~telemetry moe route ~spec_gpu);
       ])
     Shapes.moe_configs
 
 let json_suites = [ ("mlp", bench_json_mlp); ("moe", bench_json_moe) ]
 
-let write_bench_json name rows_of =
+(* Resolve every row through the cache, fan the misses out over the
+   pool, and stitch the results back in row order.  The sweep stats go
+   into the artifact so the perf trajectory (and the parallel/caching
+   machinery itself) is visible across commits. *)
+let write_bench_json cache name rows_of =
   let path = Printf.sprintf "BENCH_%s.json" name in
   let t0 = Unix.gettimeofday () in
-  let rows = rows_of () in
+  let specs = rows_of () in
+  let resolved =
+    List.map
+      (fun r ->
+        match cache with
+        | None -> `Miss r
+        | Some c -> (
+          match Exec.Cache.find c (Exec.Cache.fingerprint r.descr) with
+          | Some row -> `Hit row
+          | None -> `Miss r))
+      specs
+  in
+  let misses =
+    List.filter_map (function `Miss r -> Some r | `Hit _ -> None) resolved
+  in
+  let computed =
+    Exec.Pool.map !pool
+      (fun r ->
+        let t = Unix.gettimeofday () in
+        let row = r.compute () in
+        (row, Unix.gettimeofday () -. t))
+      misses
+  in
+  let task_time = ref 0.0 in
+  let rows =
+    let remaining = ref (List.combine misses computed) in
+    List.map
+      (function
+        | `Hit row -> row
+        | `Miss _ -> (
+          match !remaining with
+          | [] -> assert false
+          | (r, res) :: tl ->
+            remaining := tl;
+            let row, dt = Exec.Pool.get res in
+            task_time := !task_time +. dt;
+            (match cache with
+            | Some c -> Exec.Cache.add c (Exec.Cache.fingerprint r.descr) row
+            | None -> ());
+            row))
+      resolved
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let hits = List.length specs - List.length misses in
   let doc =
     Obs.Json.Obj
       [
         ("suite", Obs.Json.Str name);
         ("machine", Obs.Json.Str spec.Spec.gpu.Spec.gpu_name);
         ("world_size", Obs.Json.Num (float_of_int world));
+        ("jobs", Obs.Json.Num (float_of_int !jobs));
+        ("cache_hits", Obs.Json.Num (float_of_int hits));
+        ("cache_misses", Obs.Json.Num (float_of_int (List.length misses)));
+        ("wall_clock_s", Obs.Json.Num wall);
+        ("task_time_s", Obs.Json.Num !task_time);
+        ( "parallel_speedup",
+          if wall > 0.0 then Obs.Json.Num (!task_time /. wall)
+          else Obs.Json.Null );
         ("rows", Obs.Json.List rows);
       ]
   in
@@ -768,9 +893,8 @@ let write_bench_json name rows_of =
   output_string oc (Obs.Json.to_string ~indent:true doc);
   output_string oc "\n";
   close_out oc;
-  Printf.printf "[%s: wrote %s, %d rows, %.1fs]\n%!" name path
-    (List.length rows)
-    (Unix.gettimeofday () -. t0)
+  Printf.printf "[%s: wrote %s, %d rows (%d cached), %.1fs]\n%!" name path
+    (List.length rows) hits wall
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -790,21 +914,43 @@ let artifacts =
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> jobs := j
+      | _ -> failwith (Printf.sprintf "bench: bad --jobs %S" n));
+      parse acc rest
+    | "--no-cache" :: rest ->
+      use_cache := false;
+      parse acc rest
+    | "--cache" :: f :: rest ->
+      cache_file := f;
+      parse acc rest
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
+  if !jobs > 1 then pool := Some (Exec.Pool.create ~domains:!jobs ());
   let json_mode = List.mem "--json" args in
   let names = List.filter (fun a -> a <> "--json") args in
-  if json_mode then
+  if json_mode then begin
+    let cache =
+      if !use_cache then Some (Exec.Cache.create ~path:!cache_file ())
+      else None
+    in
     let requested =
       match names with [] -> List.map fst json_suites | ns -> ns
     in
     List.iter
       (fun name ->
         match List.assoc_opt name json_suites with
-        | Some rows_of -> write_bench_json name rows_of
+        | Some rows_of -> write_bench_json cache name rows_of
         | None ->
           Printf.printf "unknown suite %S; available: %s\n" name
             (String.concat ", " (List.map fst json_suites)))
-      requested
+      requested;
+    match cache with Some c -> Exec.Cache.save c | None -> ()
+  end
   else begin
     let requested =
       match names with [] -> List.map fst artifacts | ns -> ns

@@ -187,23 +187,269 @@ let simulate_cmd =
       $ trace_arg $ trace_json_arg)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel evaluation: shared --jobs / --cache plumbing               *)
+(* ------------------------------------------------------------------ *)
+
+module Exec = Tilelink_exec
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:"Evaluate independent candidates on $(docv) domains (1 = \
+              sequential; results are identical either way).")
+
+let cache_path_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"FILE"
+        ~doc:"Persist evaluation results to $(docv) and serve repeated \
+              points from it on later runs.")
+
+let make_pool jobs =
+  if jobs > 1 then Some (Exec.Pool.create ~domains:jobs ()) else None
+
+let make_cache = function
+  | Some path -> Exec.Cache.create ~path ()
+  | None -> Exec.Cache.create ()
+
+let save_cache cache =
+  match Exec.Cache.path cache with
+  | Some path ->
+    Exec.Cache.save cache;
+    Printf.printf "cache: %d entries saved to %s\n" (Exec.Cache.length cache)
+      path
+  | None -> ()
+
+let print_pool_stats = function
+  | None -> ()
+  | Some pool ->
+    let s = Exec.Pool.stats pool in
+    Printf.printf
+      "pool: %d domains, %d tasks (%d stolen), task time %.2fs, wall %.2fs \
+       (%.2fx)\n"
+      (Exec.Pool.domains pool) s.Exec.Pool.tasks_run s.Exec.Pool.stolen
+      s.Exec.Pool.task_time_s s.Exec.Pool.wall_time_s
+      (if s.Exec.Pool.wall_time_s > 0.0 then
+         s.Exec.Pool.task_time_s /. s.Exec.Pool.wall_time_s
+       else 1.0)
+
+(* ------------------------------------------------------------------ *)
 (* tune                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let tune kernel world m k n =
+let tune kernel world m k n jobs cache_path =
+  let pool = make_pool jobs in
+  let cache = make_cache cache_path in
   let tuned =
     match kernel with
-    | `Ag_gemm | `Moe -> Tuned.ag_gemm spec ~world_size:world ~m ~k ~n
-    | `Gemm_rs -> Tuned.gemm_rs spec ~world_size:world ~m ~k ~n
+    | `Ag_gemm | `Moe -> Tuned.ag_gemm ?pool ~cache spec ~world_size:world ~m ~k ~n
+    | `Gemm_rs -> Tuned.gemm_rs ?pool ~cache spec ~world_size:world ~m ~k ~n
   in
   Printf.printf "best of %d candidates: %.1f us\n  [%s]\n"
     tuned.Tuned.candidates_tried tuned.Tuned.best_time
-    (Design_space.config_to_string tuned.Tuned.best_config)
+    (Design_space.config_to_string tuned.Tuned.best_config);
+  print_pool_stats pool;
+  save_cache cache
 
 let tune_cmd =
   Cmd.v
     (Cmd.info "tune" ~doc:"Search the decoupled design space for a shape.")
-    Term.(const tune $ kernel_arg $ world_arg $ m_arg $ k_arg $ n_arg)
+    Term.(
+      const tune $ kernel_arg $ world_arg $ m_arg $ k_arg $ n_arg $ jobs_arg
+      $ cache_path_arg)
+
+(* ------------------------------------------------------------------ *)
+(* autotune                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Full design-space sweep (the [tune] command searches only the small
+   curated candidate lists).  With --jobs N the independent simulator
+   runs fan out over a domain pool; with --cache FILE repeated
+   invocations replay already-evaluated points. *)
+
+let print_outcome label (o : _ Tune.outcome) =
+  Printf.printf
+    "%s: best %.1f us [%s]\n   %d evaluated, %d skipped (build %d, invalid \
+     %d, deadlock %d), cache %d hits / %d misses\n"
+    label o.Tune.best.Tune.time
+    (Design_space.config_to_string o.Tune.best.Tune.config)
+    (List.length o.Tune.evaluated)
+    o.Tune.skipped o.Tune.skipped_build o.Tune.skipped_invalid
+    o.Tune.skipped_deadlock o.Tune.cache_hits o.Tune.cache_misses
+
+let autotune workload world m k n jobs cache_path =
+  let pool = make_pool jobs in
+  let cache = make_cache cache_path in
+  let ring = Tile.Ring_from_self { segments = world } in
+  let ag_space ~m ~k ~n =
+    let space =
+      {
+        Design_space.comm_tiles =
+          List.filter
+            (fun (tm, _) -> m / world mod tm = 0)
+            [ (128, 128); (256, 128); (512, 128); (1024, 128) ];
+        compute_tiles = [ (128, 128) ];
+        comm_orders = [ ring; Tile.Row_major ];
+        compute_orders = [ ring ];
+        bindings =
+          [
+            Design_space.Comm_on_dma;
+            Design_space.Comm_on_sm 20;
+            Design_space.Comm_hybrid { dma_fraction = 0.5; sms = 12 };
+          ];
+        stage_choices = [ 1; 2 ];
+      }
+    in
+    ( Printf.sprintf "autotune:ag_gemm:m=%d,k=%d,n=%d" m k n,
+      Design_space.enumerate space,
+      fun config ->
+        Mlp.ag_gemm_program ~config
+          { Mlp.m; k; n; world_size = world }
+          ~spec_gpu:spec )
+  in
+  let rs_space ~m ~k ~n =
+    let space =
+      {
+        Design_space.comm_tiles = [ (128, n); (256, n) ];
+        compute_tiles = [ (128, 128) ];
+        comm_orders = [ Tile.Row_major ];
+        compute_orders = [ Tile.Ring_prev_first { segments = world }; ring ];
+        bindings =
+          [
+            Design_space.Comm_on_sm 20;
+            Design_space.Comm_hybrid { dma_fraction = 0.5; sms = 12 };
+          ];
+        stage_choices = [ 1; 2 ];
+      }
+    in
+    ( Printf.sprintf "autotune:gemm_rs:m=%d,k=%d,n=%d" m k n,
+      Design_space.enumerate space,
+      fun config ->
+        Mlp.gemm_rs_program ~config
+          { Mlp.rs_m = m; rs_k = k; rs_n = n; rs_world = world }
+          ~spec_gpu:spec )
+  in
+  let sweeps =
+    match workload with
+    | `Mlp ->
+      (* m/k/n are read as the layer's S/H/I, as in Table 2. *)
+      let ipr = n / world in
+      [
+        ("AG+GEMM", ag_space ~m ~k ~n:(2 * ipr));
+        ("GEMM+RS", rs_space ~m ~k:ipr ~n:k);
+      ]
+    | `Ag_gemm -> [ ("AG+GEMM", ag_space ~m ~k ~n) ]
+    | `Gemm_rs -> [ ("GEMM+RS", rs_space ~m ~k ~n) ]
+  in
+  List.iter
+    (fun (label, (workload_id, configs, build)) ->
+      Printf.printf "%s: searching %d candidates...\n%!" label
+        (List.length configs);
+      match
+        Tune.search_programs ?pool ~cache ~workload:workload_id ~build
+          ~make_cluster:(fun () -> Cluster.create spec ~world_size:world)
+          configs
+      with
+      | None -> Printf.printf "%s: no candidate built\n" label
+      | Some outcome -> print_outcome label outcome)
+    sweeps;
+  print_pool_stats pool;
+  save_cache cache
+
+let autotune_cmd =
+  let workload_arg =
+    Arg.(
+      value
+      & opt (enum [ ("mlp", `Mlp); ("ag-gemm", `Ag_gemm); ("gemm-rs", `Gemm_rs) ])
+          `Mlp
+      & info [ "workload" ] ~docv:"mlp|ag-gemm|gemm-rs"
+          ~doc:"What to sweep: both halves of the TP MLP, or one kernel.")
+  in
+  Cmd.v
+    (Cmd.info "autotune"
+       ~doc:
+         "Sweep the full decoupled design space, optionally in parallel \
+          (--jobs) and through an evaluation cache (--cache).")
+    Term.(
+      const autotune $ workload_arg $ world_arg $ m_arg $ k_arg $ n_arg
+      $ jobs_arg $ cache_path_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ablation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One design axis at a time around a fixed base point (the CLI's
+   counterpart of the bench ablation artifact); each axis's grid is an
+   independent batch of simulator runs, so it fans out over the pool. *)
+
+let ablation world m k n jobs =
+  let pool = make_pool jobs in
+  let ring = Tile.Ring_from_self { segments = world } in
+  let shapes = { Mlp.m; k; n; world_size = world } in
+  let base =
+    {
+      Design_space.comm_tile = (256, 128);
+      compute_tile = (128, 128);
+      comm_order = ring;
+      compute_order = ring;
+      binding = Design_space.Comm_on_dma;
+      stages = 2;
+    }
+  in
+  let run_axis axis configs =
+    let times =
+      Exec.Pool.map pool
+        (fun (_, config) ->
+          let cluster = Cluster.create spec ~world_size:world in
+          (Runtime.run cluster
+             (Mlp.ag_gemm_program ~config shapes ~spec_gpu:spec))
+            .Runtime.makespan)
+        configs
+    in
+    Printf.printf "%s:\n" axis;
+    List.iter2
+      (fun (label, _) time ->
+        Printf.printf "  %-26s %8.1f us\n" label (Exec.Pool.get time))
+      configs times
+  in
+  run_axis "resource binding"
+    (List.map
+       (fun binding ->
+         ( Design_space.resource_binding_to_string binding,
+           { base with Design_space.binding } ))
+       [
+         Design_space.Comm_on_dma;
+         Design_space.Comm_on_sm 8;
+         Design_space.Comm_on_sm 20;
+         Design_space.Comm_on_sm 40;
+         Design_space.Comm_hybrid { dma_fraction = 0.5; sms = 12 };
+       ]);
+  run_axis "communication tile rows"
+    (List.filter_map
+       (fun tile ->
+         if m / world mod tile = 0 then
+           Some
+             ( Printf.sprintf "%d rows/tile" tile,
+               { base with Design_space.comm_tile = (tile, 128) } )
+         else None)
+       [ 128; 256; 512; 1024 ]);
+  run_axis "pipeline stages"
+    (List.map
+       (fun stages ->
+         (Printf.sprintf "stages=%d" stages, { base with Design_space.stages }))
+       [ 1; 2; 4 ]);
+  print_pool_stats pool
+
+let ablation_cmd =
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:
+         "Sweep one design axis at a time around a fixed AG+GEMM base \
+          point, optionally in parallel (--jobs).")
+    Term.(
+      const ablation $ world_arg $ m_arg $ k_arg $ n_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* validate                                                            *)
@@ -670,6 +916,8 @@ let () =
             info_cmd;
             simulate_cmd;
             tune_cmd;
+            autotune_cmd;
+            ablation_cmd;
             validate_cmd;
             attention_cmd;
             emit_cmd;

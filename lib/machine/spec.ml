@@ -53,3 +53,17 @@ let pp ppf t =
     (float_of_int t.gpu.num_sms *. t.gpu.flops_per_sm /. 1e6)
     (t.gpu.hbm_bw /. 1e3)
     t.interconnect.nvlink_gbps t.interconnect.nic_gbps
+
+(* Exact textual identity of the machine model, for cache keys: every
+   field, floats in hex so distinct calibrations never collide. *)
+let fingerprint t =
+  Printf.sprintf
+    "gpu=%s,sms=%d,fps=%h,eff=%h,hbm=%h,dma=%d,tov=%h,ll=%h|ic=%h,%h,%h,%h|\
+     ov=%h,%h,%h,%h,%h,%h|gpn=%d"
+    t.gpu.gpu_name t.gpu.num_sms t.gpu.flops_per_sm t.gpu.mac_efficiency
+    t.gpu.hbm_bw t.gpu.dma_channels t.gpu.tile_overhead t.gpu.load_latency
+    t.interconnect.nvlink_gbps t.interconnect.nvlink_latency
+    t.interconnect.nic_gbps t.interconnect.nic_latency
+    t.overheads.kernel_launch t.overheads.host_sync
+    t.overheads.collective_setup t.overheads.signal_notify
+    t.overheads.signal_wait t.overheads.fusion_interference t.gpus_per_node

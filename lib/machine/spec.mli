@@ -37,3 +37,7 @@ type t = {
 
 val total_flops : t -> float
 val pp : Format.formatter -> t -> unit
+
+val fingerprint : t -> string
+(** Exact textual identity of every field (floats in hex), for
+    evaluation-cache keys; distinct calibrations never collide. *)

@@ -79,18 +79,23 @@ let step t =
     thunk ();
     true
 
+(* The [until] match is hoisted out of the loop: the unbounded path
+   pays one heap pop per event and the bounded path one peek + one pop,
+   instead of re-deciding the mode and re-peeking every iteration. *)
 let run ?until t =
-  let continue () =
-    match until with
-    | None -> not (Pqueue.is_empty t.events)
-    | Some limit -> (
+  (match until with
+  | None ->
+    let rec drain () = if step t then drain () in
+    drain ()
+  | Some limit ->
+    let rec drain () =
       match Pqueue.peek t.events with
-      | None -> false
-      | Some { priority = time; _ } -> time <= limit)
-  in
-  while continue () do
-    ignore (step t)
-  done;
+      | Some { priority = time; _ } when time <= limit ->
+        ignore (step t);
+        drain ()
+      | Some _ | None -> ()
+    in
+    drain ());
   (match until with
   | Some limit when limit > t.now && Pqueue.is_empty t.events -> t.now <- limit
   | _ -> ());

@@ -14,6 +14,16 @@ type 'a t = {
 
 let create () = { data = [||]; size = 0; next_seq = 0 }
 
+(* Vacated and never-used slots hold this shared dummy so popped
+   payloads (often closures over whole simulation states) become
+   collectable immediately.  Every read is guarded by [size], so the
+   dummy is never dereferenced; the [Obj.magic] only launders its type
+   parameter, the same trick the stdlib's [Dynarray] uses. *)
+let dummy_entry : Obj.t entry =
+  { priority = nan; seq = min_int; payload = Obj.repr () }
+
+let dummy () : 'a entry = Obj.magic dummy_entry
+
 let length t = t.size
 let is_empty t = t.size = 0
 
@@ -44,11 +54,11 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
-let grow t entry =
+let grow t =
   let capacity = Array.length t.data in
   if t.size = capacity then begin
     let new_capacity = max 16 (2 * capacity) in
-    let data = Array.make new_capacity entry in
+    let data = Array.make new_capacity (dummy ()) in
     Array.blit t.data 0 data 0 t.size;
     t.data <- data
   end
@@ -56,7 +66,7 @@ let grow t entry =
 let push t priority payload =
   let entry = { priority; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  grow t entry;
+  grow t;
   t.data.(t.size) <- entry;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
@@ -70,7 +80,14 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      t.data.(t.size) <- dummy ();
       sift_down t 0
-    end;
+    end
+    else t.data.(0) <- dummy ();
     Some top
   end
+
+let clear t =
+  Array.fill t.data 0 t.size (dummy ());
+  t.size <- 0;
+  t.next_seq <- 0

@@ -12,4 +12,11 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 val push : 'a t -> float -> 'a -> unit
 val peek : 'a t -> 'a entry option
+
 val pop : 'a t -> 'a entry option
+(** Removes the minimum and clears the vacated slot, so the popped
+    payload is collectable as soon as the caller drops it. *)
+
+val clear : 'a t -> unit
+(** Drop all entries (payloads become collectable) and reset the
+    insertion sequence, for engine reuse. *)

@@ -37,6 +37,25 @@ let config_to_string c =
     (resource_binding_to_string c.binding)
     c.stages
 
+(* Exact textual identity of a config, for evaluation-cache keys.
+   [config_to_string] is for humans and rounds the hybrid DMA fraction
+   to whole percent; here floats go out in hex so distinct configs
+   never collide. *)
+let fingerprint c =
+  let binding =
+    match c.binding with
+    | Comm_on_sm n -> Printf.sprintf "sm:%d" n
+    | Comm_on_dma -> "dma"
+    | Comm_hybrid { dma_fraction; sms } ->
+      Printf.sprintf "hybrid:%h:%d" dma_fraction sms
+  in
+  Printf.sprintf "ct=%dx%d;kt=%dx%d;co=%s;ko=%s;bind=%s;stages=%d"
+    (fst c.comm_tile) (snd c.comm_tile) (fst c.compute_tile)
+    (snd c.compute_tile)
+    (Tile.order_to_string c.comm_order)
+    (Tile.order_to_string c.compute_order)
+    binding c.stages
+
 (* FLUX-style coupled point: communication inherits everything from
    computation. *)
 let coupled ~tile ~order ~comm_sms ~stages =

@@ -19,6 +19,10 @@ type config = {
 
 val config_to_string : config -> string
 
+val fingerprint : config -> string
+(** Exact textual identity of the config (floats in hex), for
+    evaluation-cache keys; distinct configs never collide. *)
+
 val coupled :
   tile:int * int -> order:Tile.order -> comm_sms:int -> stages:int -> config
 (** The FLUX-style coupled point: communication inherits the

@@ -3,7 +3,16 @@
    TileLink's performance numbers come from picking the best point of
    the decoupled design space under the simulator — exactly the role
    autotuning plays for the real compiler.  Candidates that fail to
-   build (invalid tile/extent combinations) or deadlock are skipped. *)
+   build (invalid tile/extent combinations) or deadlock are skipped,
+   with a per-reason count.
+
+   Every candidate is an independent, deterministic simulator run, so
+   the search fans out over a [Tilelink_exec.Pool] when given one and
+   consults a [Tilelink_exec.Cache] keyed by (workload, machine spec,
+   config) fingerprints.  Both paths — and any pool width — return the
+   identical outcome: results come back in candidate order, the best is
+   the earliest strict minimum, and cache hits replay the stored time
+   bit-for-bit within a process. *)
 
 type 'a evaluation = {
   candidate : 'a;
@@ -15,34 +24,137 @@ type 'a outcome = {
   best : 'a evaluation;
   evaluated : 'a evaluation list;
   skipped : int;
+  skipped_build : int;
+  skipped_invalid : int;
+  skipped_deadlock : int;
+  cache_hits : int;
+  cache_misses : int;
 }
 
-let search ~configs ~build ~evaluate =
-  let evaluated = ref [] in
-  let skipped = ref 0 in
-  List.iter
-    (fun config ->
-      match build config with
-      | exception Invalid_argument _ -> incr skipped
-      | candidate -> (
-        match evaluate candidate with
-        | exception Invalid_argument _ -> incr skipped
-        | exception Tilelink_sim.Engine.Deadlock _ -> incr skipped
-        | time -> evaluated := { candidate; config; time } :: !evaluated))
-    configs;
-  match !evaluated with
+(* One candidate's fate, computed inside a pool task.  The three
+   expected failure modes are folded into the variant here so they
+   never cross a domain boundary as raw exceptions; anything else is a
+   bug and propagates to the caller via [Pool.get]. *)
+type 'a attempt =
+  | Evaluated of 'a evaluation
+  | From_cache of 'a evaluation
+  | Failed_build
+  | Failed_invalid
+  | Failed_deadlock
+
+let attempt ~build ~evaluate (config, cached) =
+  match build config with
+  | exception Invalid_argument _ -> Failed_build
+  | candidate -> (
+    match cached with
+    | Some time -> From_cache { candidate; config; time }
+    | None -> (
+      match evaluate candidate with
+      | exception Invalid_argument _ -> Failed_invalid
+      | exception Tilelink_sim.Engine.Deadlock _ -> Failed_deadlock
+      | time -> Evaluated { candidate; config; time }))
+
+let search ?pool ?cache ?cache_key ~build ~evaluate configs =
+  let keyed =
+    match (cache, cache_key) with
+    | Some cache, Some key_of ->
+      List.map
+        (fun config ->
+          let key = key_of config in
+          let cached =
+            Option.bind
+              (Tilelink_exec.Cache.find cache key)
+              Tilelink_obs.Json.to_float
+          in
+          (config, Some key, cached))
+        configs
+    | _ -> List.map (fun config -> (config, None, None)) configs
+  in
+  let attempts =
+    Tilelink_exec.Pool.map pool
+      (fun (config, _key, cached) -> attempt ~build ~evaluate (config, cached))
+      keyed
+    |> List.map Tilelink_exec.Pool.get
+  in
+  (* Store fresh evaluations back under their keys (coordinator only,
+     after the parallel section). *)
+  (match cache with
+  | None -> ()
+  | Some cache ->
+    List.iter2
+      (fun (_, key, _) att ->
+        match (key, att) with
+        | Some key, Evaluated e ->
+          Tilelink_exec.Cache.add cache key (Tilelink_obs.Json.Num e.time)
+        | _ -> ())
+      keyed attempts);
+  let evaluated =
+    List.filter_map
+      (function Evaluated e | From_cache e -> Some e | _ -> None)
+      attempts
+  in
+  let count p = List.length (List.filter p attempts) in
+  let skipped_build = count (function Failed_build -> true | _ -> false) in
+  let skipped_invalid =
+    count (function Failed_invalid -> true | _ -> false)
+  in
+  let skipped_deadlock =
+    count (function Failed_deadlock -> true | _ -> false)
+  in
+  let cache_hits =
+    count (function From_cache _ -> true | _ -> false)
+  in
+  let cache_misses =
+    match cache with
+    | None -> 0
+    | Some _ -> List.length attempts - cache_hits
+  in
+  match evaluated with
   | [] -> None
-  | evaluations ->
+  | first :: _ ->
     let best =
       List.fold_left
         (fun acc e -> if e.time < acc.time then e else acc)
-        (List.hd evaluations) evaluations
+        first evaluated
     in
-    Some { best; evaluated = List.rev evaluations; skipped = !skipped }
+    Some
+      {
+        best;
+        evaluated;
+        skipped = skipped_build + skipped_invalid + skipped_deadlock;
+        skipped_build;
+        skipped_invalid;
+        skipped_deadlock;
+        cache_hits;
+        cache_misses;
+      }
 
 (* Convenience for program-valued candidates: simulate on a fresh
-   cluster per candidate (simulated clusters are single-shot). *)
-let search_programs ~configs ~build ~make_cluster =
-  search ~configs ~build ~evaluate:(fun program ->
+   cluster per candidate, built *inside* the evaluating task so every
+   engine/channel/runtime structure stays confined to the domain that
+   runs it — [make_cluster] is the enforced entry point. *)
+let search_programs ?pool ?cache ?(workload = "program") ~build ~make_cluster
+    configs =
+  let cache_key =
+    match cache with
+    | None -> None
+    | Some _ ->
+      (* One probe cluster pins down the machine identity behind the
+         key; simulated clusters are single-shot, so it is discarded. *)
+      let probe = make_cluster () in
+      let machine =
+        Printf.sprintf "%s|world=%d"
+          (Tilelink_machine.Spec.fingerprint (Tilelink_machine.Cluster.spec probe))
+          (Tilelink_machine.Cluster.world_size probe)
+      in
+      Some
+        (fun config ->
+          Tilelink_exec.Cache.fingerprint
+            (String.concat "|"
+               [ workload; machine; Design_space.fingerprint config ]))
+  in
+  search ?pool ?cache ?cache_key ~build
+    ~evaluate:(fun program ->
       let cluster = make_cluster () in
       (Runtime.run cluster program).Runtime.makespan)
+    configs

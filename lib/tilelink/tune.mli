@@ -1,5 +1,6 @@
 (** Design-space search: evaluate candidates under the simulator and
-    keep the fastest. *)
+    keep the fastest, optionally fanning out over a domain pool and
+    short-circuiting through an evaluation cache. *)
 
 type 'a evaluation = {
   candidate : 'a;
@@ -9,18 +10,42 @@ type 'a evaluation = {
 
 type 'a outcome = {
   best : 'a evaluation;
-  evaluated : 'a evaluation list;
-  skipped : int;  (** candidates that failed to build or deadlocked *)
+  evaluated : 'a evaluation list;  (** in candidate order, both paths *)
+  skipped : int;  (** total skips, [= build + invalid + deadlock] *)
+  skipped_build : int;
+      (** [Invalid_argument] while building (bad tile/extent combos) *)
+  skipped_invalid : int;  (** [Invalid_argument] while evaluating *)
+  skipped_deadlock : int;
+      (** {!Tilelink_sim.Engine.Deadlock} while evaluating *)
+  cache_hits : int;  (** candidates served from the cache *)
+  cache_misses : int;  (** candidates that had to be evaluated *)
 }
 
 val search :
-  configs:Design_space.config list ->
+  ?pool:Tilelink_exec.Pool.t ->
+  ?cache:Tilelink_exec.Cache.t ->
+  ?cache_key:(Design_space.config -> string) ->
   build:(Design_space.config -> 'a) ->
   evaluate:('a -> float) ->
+  Design_space.config list ->
   'a outcome option
+(** With [pool], candidates evaluate in parallel; [build]/[evaluate]
+    must then confine mutable state to their own invocation (fresh
+    cluster per call).  The outcome is identical to the sequential
+    path: [evaluated] is in candidate order and [best] is the earliest
+    strict minimum.  Caching needs both [cache] and [cache_key]; only
+    successful evaluations are stored. *)
 
 val search_programs :
-  configs:Design_space.config list ->
+  ?pool:Tilelink_exec.Pool.t ->
+  ?cache:Tilelink_exec.Cache.t ->
+  ?workload:string ->
   build:(Design_space.config -> Program.t) ->
   make_cluster:(unit -> Tilelink_machine.Cluster.t) ->
+  Design_space.config list ->
   Program.t outcome option
+(** Program-valued candidates, simulated on a fresh cluster built by
+    [make_cluster] inside each evaluating task (simulated clusters are
+    single-shot and must stay domain-confined).  Cache keys fingerprint
+    [workload] — which must therefore identify the kernel {e and}
+    shape — together with the machine spec, world size and config. *)

@@ -75,23 +75,25 @@ let tune_or_fail ~what outcome =
     }
   | None -> invalid_arg (Printf.sprintf "Tuned.%s: no candidate built" what)
 
-let ag_gemm (spec : Spec.t) ~world_size ~m ~k ~n =
+let ag_gemm ?pool ?cache (spec : Spec.t) ~world_size ~m ~k ~n =
   let spec_shapes = { Mlp.m; k; n; world_size } in
   tune_or_fail ~what:"ag_gemm"
-    (Tune.search_programs
-       ~configs:(ag_gemm_candidates ~world_size)
+    (Tune.search_programs ?pool ?cache
+       ~workload:(Printf.sprintf "ag_gemm:m=%d,k=%d,n=%d" m k n)
        ~build:(fun config ->
          Mlp.ag_gemm_program ~config spec_shapes ~spec_gpu:spec)
-       ~make_cluster:(fun () -> Cluster.create spec ~world_size))
+       ~make_cluster:(fun () -> Cluster.create spec ~world_size)
+       (ag_gemm_candidates ~world_size))
 
-let gemm_rs (spec : Spec.t) ~world_size ~m ~k ~n =
+let gemm_rs ?pool ?cache (spec : Spec.t) ~world_size ~m ~k ~n =
   let spec_shapes = { Mlp.rs_m = m; rs_k = k; rs_n = n; rs_world = world_size } in
   tune_or_fail ~what:"gemm_rs"
-    (Tune.search_programs
-       ~configs:(gemm_rs_candidates ~world_size)
+    (Tune.search_programs ?pool ?cache
+       ~workload:(Printf.sprintf "gemm_rs:m=%d,k=%d,n=%d" m k n)
        ~build:(fun config ->
          Mlp.gemm_rs_program ~config spec_shapes ~spec_gpu:spec)
-       ~make_cluster:(fun () -> Cluster.create spec ~world_size))
+       ~make_cluster:(fun () -> Cluster.create spec ~world_size)
+       (gemm_rs_candidates ~world_size))
 
 (* Element-wise gated activation between the MLP halves (same kernel
    for every method; shared with the baselines). *)
@@ -100,11 +102,11 @@ let activation_time (spec : Spec.t) ~m ~i =
   +. Cost.memory_pass_time spec ~sms:spec.Spec.gpu.num_sms
        ~bytes:(float_of_int m *. float_of_int (3 * i) *. Cost.dtype_bytes)
 
-let mlp_time (spec : Spec.t) ~world_size ~(shape : Shapes.mlp) =
+let mlp_time ?pool ?cache (spec : Spec.t) ~world_size ~(shape : Shapes.mlp) =
   let m = shape.Shapes.s and h = shape.Shapes.h and i = shape.Shapes.i in
   let i_per_rank = i / world_size in
-  let part1 = ag_gemm spec ~world_size ~m ~k:h ~n:(2 * i_per_rank) in
-  let part2 = gemm_rs spec ~world_size ~m ~k:i_per_rank ~n:h in
+  let part1 = ag_gemm ?pool ?cache spec ~world_size ~m ~k:h ~n:(2 * i_per_rank) in
+  let part2 = gemm_rs ?pool ?cache spec ~world_size ~m ~k:i_per_rank ~n:h in
   part1.best_time
   +. activation_time spec ~m ~i:i_per_rank
   +. part2.best_time

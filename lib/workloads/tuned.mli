@@ -14,12 +14,35 @@ type tuned = {
   candidates_tried : int;
 }
 
-val ag_gemm : Spec.t -> world_size:int -> m:int -> k:int -> n:int -> tuned
-val gemm_rs : Spec.t -> world_size:int -> m:int -> k:int -> n:int -> tuned
+val ag_gemm :
+  ?pool:Tilelink_exec.Pool.t ->
+  ?cache:Tilelink_exec.Cache.t ->
+  Spec.t ->
+  world_size:int ->
+  m:int ->
+  k:int ->
+  n:int ->
+  tuned
+
+val gemm_rs :
+  ?pool:Tilelink_exec.Pool.t ->
+  ?cache:Tilelink_exec.Cache.t ->
+  Spec.t ->
+  world_size:int ->
+  m:int ->
+  k:int ->
+  n:int ->
+  tuned
 
 val activation_time : Spec.t -> m:int -> i:int -> float
 (** Gated-activation kernel between the MLP halves (same for every
     method). *)
 
-val mlp_time : Spec.t -> world_size:int -> shape:Shapes.mlp -> float
+val mlp_time :
+  ?pool:Tilelink_exec.Pool.t ->
+  ?cache:Tilelink_exec.Cache.t ->
+  Spec.t ->
+  world_size:int ->
+  shape:Shapes.mlp ->
+  float
 (** Tuned AG+GEMM + activation + tuned GEMM+RS. *)

@@ -1156,9 +1156,10 @@ let test_tuner_picks_fastest () =
   in
   (* Synthetic evaluator: pretend deeper pipelines are faster. *)
   let outcome =
-    Tune.search ~configs
+    Tune.search
       ~build:(fun c -> c)
       ~evaluate:(fun c -> 10.0 /. float_of_int c.Design_space.stages)
+      configs
   in
   match outcome with
   | None -> Alcotest.fail "no outcome"
@@ -1182,15 +1183,17 @@ let test_tuner_skips_failures () =
       [ 1; 2 ]
   in
   let outcome =
-    Tune.search ~configs
+    Tune.search
       ~build:(fun c ->
         if c.Design_space.stages = 1 then invalid_arg "bad config" else c)
       ~evaluate:(fun _ -> 1.0)
+      configs
   in
   match outcome with
   | None -> Alcotest.fail "no outcome"
   | Some o ->
     Alcotest.(check int) "skipped one" 1 o.Tune.skipped;
+    Alcotest.(check int) "skipped at build" 1 o.Tune.skipped_build;
     Alcotest.(check int) "evaluated one" 1 (List.length o.Tune.evaluated)
 
 let () =

@@ -1,0 +1,244 @@
+(* Tests for the multicore evaluation subsystem: the domain pool, the
+   content-addressed evaluation cache, and the parallel autotuner
+   built on top of them. *)
+
+open Tilelink_exec
+open Tilelink_core
+open Tilelink_machine
+open Tilelink_workloads
+module Json = Tilelink_obs.Json
+
+let unwrap results = List.map Pool.get results
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_order () =
+  let pool = Pool.create ~domains:4 () in
+  let xs = List.init 100 Fun.id in
+  let expected = List.map (fun x -> x * x) xs in
+  Alcotest.(check (list int))
+    "parallel map preserves input order" expected
+    (unwrap (Pool.map (Some pool) (fun x -> x * x) xs));
+  Alcotest.(check (list int))
+    "sequential fallback identical" expected
+    (unwrap (Pool.map None (fun x -> x * x) xs))
+
+let test_pool_captures_exceptions () =
+  let pool = Pool.create ~domains:2 () in
+  let f x = if x mod 3 = 0 then failwith (string_of_int x) else x in
+  let check_results results =
+    List.iteri
+      (fun i r ->
+        match r with
+        | Ok v -> Alcotest.(check int) "value at index" i v
+        | Error (Failure msg) ->
+          Alcotest.(check string) "failure at index" (string_of_int i) msg;
+          Alcotest.(check bool) "only multiples of 3 fail" true (i mod 3 = 0)
+        | Error e -> raise e)
+      results
+  in
+  let xs = List.init 20 Fun.id in
+  check_results (Pool.map (Some pool) f xs);
+  check_results (Pool.map None f xs);
+  Alcotest.check_raises "get re-raises" (Failure "boom") (fun () ->
+      ignore (Pool.get (List.hd (Pool.map (Some pool) failwith [ "boom" ]))))
+
+let test_pool_map_array () =
+  let pool = Pool.create ~domains:3 () in
+  let thunks = Array.init 17 (fun i () -> 2 * i) in
+  let results = Pool.map_array pool thunks in
+  Array.iteri
+    (fun i r -> Alcotest.(check int) "slot" (2 * i) (Pool.get r))
+    results
+
+let test_pool_stats () =
+  let pool = Pool.create ~domains:2 () in
+  Alcotest.(check int) "fixed domain count" 2 (Pool.domains pool);
+  ignore (Pool.map (Some pool) Fun.id (List.init 10 Fun.id));
+  ignore (Pool.map (Some pool) Fun.id (List.init 5 Fun.id));
+  let s = Pool.stats pool in
+  Alcotest.(check int) "tasks accumulate" 15 s.Pool.tasks_run;
+  Alcotest.(check int) "sweeps counted" 2 s.Pool.runs;
+  Alcotest.(check bool) "wall clock measured" true (s.Pool.wall_time_s >= 0.0)
+
+let test_pool_empty_and_single () =
+  let pool = Pool.create ~domains:2 () in
+  Alcotest.(check (list int)) "empty input" []
+    (unwrap (Pool.map (Some pool) Fun.id []));
+  Alcotest.(check (list int)) "single task" [ 9 ]
+    (unwrap (Pool.map (Some pool) (fun x -> x + 1) [ 8 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_fingerprint () =
+  let a = Cache.fingerprint "workload|machine|config" in
+  Alcotest.(check string)
+    "deterministic" a
+    (Cache.fingerprint "workload|machine|config");
+  Alcotest.(check bool)
+    "sensitive to the descriptor" true
+    (a <> Cache.fingerprint "workload|machine|config2");
+  Alcotest.(check int) "64-bit hex digest" 16 (String.length a)
+
+let test_cache_find_add () =
+  let c = Cache.create () in
+  Alcotest.(check bool) "miss on empty" true (Cache.find c "k" = None);
+  Cache.add c "k" (Json.Num 1.5);
+  (match Cache.find c "k" with
+  | Some (Json.Num v) -> Alcotest.(check (float 0.0)) "hit value" 1.5 v
+  | _ -> Alcotest.fail "expected a hit");
+  Alcotest.(check int) "one hit" 1 (Cache.hits c);
+  Alcotest.(check int) "one miss" 1 (Cache.misses c);
+  Alcotest.(check int) "one entry" 1 (Cache.length c)
+
+let test_cache_persistence () =
+  let path = Filename.temp_file "tilelink_cache" ".json" in
+  let c = Cache.create ~path () in
+  Cache.add c "alpha" (Json.Num 3.25);
+  Cache.add c "beta" (Json.Obj [ ("makespan_us", Json.Num 7.0) ]);
+  Cache.save c;
+  let reloaded = Cache.create ~path () in
+  Alcotest.(check int) "entries reloaded" 2 (Cache.length reloaded);
+  (match Cache.find reloaded "alpha" with
+  | Some (Json.Num v) -> Alcotest.(check (float 0.0)) "value survives" 3.25 v
+  | _ -> Alcotest.fail "alpha missing after reload");
+  (match Cache.find reloaded "beta" with
+  | Some row ->
+    (match Json.member "makespan_us" row with
+    | Some (Json.Num v) -> Alcotest.(check (float 0.0)) "nested row" 7.0 v
+    | _ -> Alcotest.fail "nested field missing")
+  | None -> Alcotest.fail "beta missing after reload");
+  Sys.remove path
+
+let test_cache_ignores_corrupt_file () =
+  let path = Filename.temp_file "tilelink_cache" ".json" in
+  let oc = open_out path in
+  output_string oc "{ not json";
+  close_out oc;
+  let c = Cache.create ~path () in
+  Alcotest.(check int) "corrupt file ignored" 0 (Cache.length c);
+  Cache.add c "k" (Json.Num 1.0);
+  Cache.save c;
+  Alcotest.(check int) "save repairs the file" 1
+    (Cache.length (Cache.create ~path ()));
+  Sys.remove path
+
+let test_cache_concurrent_access () =
+  let pool = Pool.create ~domains:4 () in
+  let c = Cache.create () in
+  let results =
+    Pool.map (Some pool)
+      (fun i ->
+        let key = Printf.sprintf "key-%d" (i mod 8) in
+        Cache.add c key (Json.Num (float_of_int (i mod 8)));
+        match Cache.find c key with
+        | Some (Json.Num v) -> int_of_float v = i mod 8
+        | _ -> false)
+      (List.init 64 Fun.id)
+  in
+  Alcotest.(check bool) "all lookups consistent" true
+    (List.for_all Fun.id (unwrap results));
+  Alcotest.(check int) "distinct keys" 8 (Cache.length c)
+
+(* ------------------------------------------------------------------ *)
+(* Tune on the pool: determinism and cache effectiveness on the        *)
+(* Table-2 MLP design space                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Table 2's AG+GEMM point: S=8192, H=4096, I=11008 on 8 ranks, with
+   the curated candidate list the benches search. *)
+let table2_search ?pool ?cache () =
+  let world = 8 in
+  let shapes = { Mlp.m = 8192; k = 4096; n = 2752; world_size = world } in
+  match
+    Tune.search_programs ?pool ?cache ~workload:"test:table2-ag-gemm"
+      ~build:(fun config ->
+        Mlp.ag_gemm_program ~config shapes ~spec_gpu:Calib.h800)
+      ~make_cluster:(fun () -> Cluster.create Calib.h800 ~world_size:world)
+      (Tuned.ag_gemm_candidates ~world_size:world)
+  with
+  | Some o -> o
+  | None -> Alcotest.fail "table-2 search built no candidate"
+
+let evaluations o =
+  List.map (fun e -> (e.Tune.config, e.Tune.time)) o.Tune.evaluated
+
+let test_parallel_search_matches_sequential () =
+  let seq = table2_search () in
+  List.iter
+    (fun domains ->
+      let pool = Pool.create ~domains () in
+      let par = table2_search ~pool () in
+      Alcotest.(check bool)
+        (Printf.sprintf "best config identical (%d domains)" domains)
+        true
+        (par.Tune.best.Tune.config = seq.Tune.best.Tune.config);
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "best time identical (%d domains)" domains)
+        seq.Tune.best.Tune.time par.Tune.best.Tune.time;
+      Alcotest.(check bool)
+        (Printf.sprintf "evaluated set identical (%d domains)" domains)
+        true
+        (evaluations par = evaluations seq);
+      Alcotest.(check int)
+        (Printf.sprintf "skip accounting identical (%d domains)" domains)
+        seq.Tune.skipped par.Tune.skipped)
+    [ 2; 4 ]
+
+let test_second_run_served_from_cache () =
+  let cache = Cache.create () in
+  let pool = Pool.create ~domains:2 () in
+  let cold = table2_search ~pool ~cache () in
+  Alcotest.(check int) "cold run misses everything" 0 cold.Tune.cache_hits;
+  let warm = table2_search ~pool ~cache () in
+  let total = warm.Tune.cache_hits + warm.Tune.cache_misses in
+  Alcotest.(check bool)
+    (Printf.sprintf ">=90%% served from cache (%d/%d)" warm.Tune.cache_hits
+       total)
+    true
+    (float_of_int warm.Tune.cache_hits >= 0.9 *. float_of_int total);
+  Alcotest.(check bool) "warm best identical" true
+    (warm.Tune.best.Tune.config = cold.Tune.best.Tune.config);
+  Alcotest.(check (float 0.0))
+    "warm best time identical" cold.Tune.best.Tune.time
+    warm.Tune.best.Tune.time;
+  Alcotest.(check bool) "warm evaluated set identical" true
+    (evaluations warm = evaluations cold)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "tilelink_exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map order" `Quick test_pool_map_order;
+          Alcotest.test_case "exception capture" `Quick
+            test_pool_captures_exceptions;
+          Alcotest.test_case "map_array" `Quick test_pool_map_array;
+          Alcotest.test_case "stats" `Quick test_pool_stats;
+          Alcotest.test_case "empty + single" `Quick
+            test_pool_empty_and_single;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "fingerprint" `Quick test_cache_fingerprint;
+          Alcotest.test_case "find/add" `Quick test_cache_find_add;
+          Alcotest.test_case "persistence" `Quick test_cache_persistence;
+          Alcotest.test_case "corrupt file" `Quick
+            test_cache_ignores_corrupt_file;
+          Alcotest.test_case "concurrent access" `Quick
+            test_cache_concurrent_access;
+        ] );
+      ( "tune",
+        [
+          Alcotest.test_case "parallel = sequential (table 2)" `Slow
+            test_parallel_search_matches_sequential;
+          Alcotest.test_case "warm cache >=90% hits" `Slow
+            test_second_run_served_from_cache;
+        ] );
+    ]

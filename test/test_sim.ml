@@ -40,6 +40,51 @@ let test_pqueue_empty () =
   Alcotest.(check bool) "pop none" true (Pqueue.pop q = None);
   Alcotest.(check bool) "peek none" true (Pqueue.peek q = None)
 
+(* The heap must clear vacated slots on pop: a payload dropped by the
+   caller has to be collectable even while the queue itself stays
+   live.  [build] keeps every strong reference inside its own frame so
+   only the (possibly leaked) heap slot could keep the payload alive. *)
+let test_pqueue_pop_releases_payload () =
+  let build () =
+    let q = Pqueue.create () in
+    let w = Weak.create 1 in
+    let v = ref 42 in
+    Weak.set w 0 (Some v);
+    Pqueue.push q 1.0 v;
+    Pqueue.push q 2.0 (ref 0);
+    ignore (Pqueue.pop q);
+    (q, w)
+  in
+  let q, w = build () in
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected" false (Weak.check w 0);
+  Alcotest.(check int) "queue still usable" 1 (Pqueue.length q)
+
+let test_pqueue_clear () =
+  let q = Pqueue.create () in
+  let build () =
+    let w = Weak.create 1 in
+    let v = ref 7 in
+    Weak.set w 0 (Some v);
+    Pqueue.push q 1.0 v;
+    Pqueue.push q 2.0 (ref 0);
+    w
+  in
+  let w = build () in
+  Pqueue.clear q;
+  Alcotest.(check bool) "empty after clear" true (Pqueue.is_empty q);
+  Gc.full_major ();
+  Alcotest.(check bool) "cleared payloads collected" false (Weak.check w 0);
+  (* The insertion sequence restarts, so FIFO tie-breaking behaves like
+     a fresh queue. *)
+  List.iter (fun v -> Pqueue.push q 1.0 (ref v)) [ 1; 2 ];
+  let pop () =
+    match Pqueue.pop q with Some e -> !(e.Pqueue.payload) | None -> -1
+  in
+  let first = pop () in
+  let second = pop () in
+  Alcotest.(check (list int)) "fifo after clear" [ 1; 2 ] [ first; second ]
+
 let prop_pqueue_sorts =
   QCheck.Test.make ~name:"pqueue pops in nondecreasing priority order"
     ~count:200
@@ -104,6 +149,30 @@ let test_run_until () =
       done);
   Engine.run ~until:4.5 engine;
   Alcotest.(check int) "4 ticks by t=4.5" 4 !count
+
+let test_run_until_boundary_and_resume () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  Process.spawn engine (fun () ->
+      for _ = 1 to 6 do
+        Process.wait 1.0;
+        incr count
+      done);
+  (* An event scheduled exactly at the limit still fires. *)
+  Engine.run ~until:3.0 engine;
+  Alcotest.(check int) "3 ticks by t=3.0" 3 !count;
+  check_float "clock at last event" 3.0 (Engine.now engine);
+  (* The remaining events survive the bounded run and a later
+     unbounded run drains them. *)
+  Engine.run engine;
+  Alcotest.(check int) "all ticks after resume" 6 !count;
+  check_float "ends at 6" 6.0 (Engine.now engine)
+
+let test_run_until_idle_advances_clock () =
+  let engine = Engine.create () in
+  Process.spawn engine (fun () -> Process.wait 1.0);
+  Engine.run ~until:9.0 engine;
+  check_float "idle clock advances to the limit" 9.0 (Engine.now engine)
 
 let test_join_latch () =
   let engine = Engine.create () in
@@ -562,6 +631,9 @@ let () =
           Alcotest.test_case "ordering" `Quick test_pqueue_order;
           Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
           Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          Alcotest.test_case "pop releases payload" `Quick
+            test_pqueue_pop_releases_payload;
+          Alcotest.test_case "clear" `Quick test_pqueue_clear;
           qc prop_pqueue_sorts;
         ] );
       ( "engine",
@@ -570,6 +642,10 @@ let () =
           Alcotest.test_case "interleaving" `Quick test_processes_interleave;
           Alcotest.test_case "spawn at" `Quick test_spawn_at;
           Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "run until boundary + resume" `Quick
+            test_run_until_boundary_and_resume;
+          Alcotest.test_case "run until idle clock" `Quick
+            test_run_until_idle_advances_clock;
           Alcotest.test_case "join latch" `Quick test_join_latch;
           Alcotest.test_case "deadlock detection" `Quick
             test_deadlock_detection;
