@@ -10,6 +10,8 @@
                   (default 1: sequential, identical output either way)
      --no-cache   do not consult/update BENCH_cache.json in --json mode
      --cache F    use F instead of BENCH_cache.json
+     --check      re-parse each written BENCH_*.json and fail unless the
+                  schema holds (non-empty rows, numeric fields)
 
    Artifacts:
      table1  feature comparison (Table 1)
@@ -42,6 +44,7 @@ let pool : Exec.Pool.t option ref = ref None
 let jobs = ref 1
 let use_cache = ref true
 let cache_file = ref "BENCH_cache.json"
+let check_artifacts = ref false
 
 let par_map f xs = List.map Exec.Pool.get (Exec.Pool.map !pool f xs)
 
@@ -819,7 +822,121 @@ let bench_json_moe () =
       ])
     Shapes.moe_configs
 
-let json_suites = [ ("mlp", bench_json_mlp); ("moe", bench_json_moe) ]
+(* A deliberately tiny suite for CI smoke runs: one AG+GEMM and one
+   GEMM+RS row at toy shapes, seconds not minutes, exercising the same
+   row/cache/pool machinery and artifact schema as the real suites. *)
+let bench_json_smoke () =
+  let ring = Tilelink_core.Tile.Ring_from_self { segments = world } in
+  let ag_spec = { Mlp.m = 1024; k = 512; n = 256; world_size = world } in
+  let ag_config =
+    {
+      Design_space.comm_tile = (64, 128);
+      compute_tile = (64, 64);
+      comm_order = ring;
+      compute_order = ring;
+      binding = Design_space.Comm_on_dma;
+      stages = 2;
+    }
+  in
+  let rs_spec =
+    { Mlp.rs_m = 1024; rs_k = 64; rs_n = 512; rs_world = world }
+  in
+  let rs_config =
+    {
+      Design_space.comm_tile = (128, 512);
+      compute_tile = (128, 128);
+      comm_order = Tilelink_core.Tile.Row_major;
+      compute_order = Tilelink_core.Tile.Ring_prev_first { segments = world };
+      binding = Design_space.Comm_hybrid { dma_fraction = 0.5; sms = 12 };
+      stages = 2;
+    }
+  in
+  [
+    {
+      descr =
+        Printf.sprintf "bench-v1|smoke|ag_gemm|m=1024,k=512,n=256|%s|%s"
+          machine_id
+          (Design_space.fingerprint ag_config);
+      compute =
+        (fun () ->
+          let tel = Obs.Telemetry.create () in
+          let run =
+            Mlp.profile_ag_gemm ~config:ag_config ~telemetry:tel ag_spec
+              ~spec_gpu:spec
+          in
+          bench_row ~config_name:"smoke" ~kernel:"ag_gemm" run tel);
+    };
+    {
+      descr =
+        Printf.sprintf "bench-v1|smoke|gemm_rs|m=1024,k=64,n=512|%s|%s"
+          machine_id
+          (Design_space.fingerprint rs_config);
+      compute =
+        (fun () ->
+          let tel = Obs.Telemetry.create () in
+          let run =
+            Mlp.profile_gemm_rs ~config:rs_config ~telemetry:tel rs_spec
+              ~spec_gpu:spec
+          in
+          bench_row ~config_name:"smoke" ~kernel:"gemm_rs" run tel);
+    };
+  ]
+
+let json_suites =
+  [
+    ("mlp", bench_json_mlp);
+    ("moe", bench_json_moe);
+    ("smoke", bench_json_smoke);
+  ]
+
+(* --check: re-parse a freshly written artifact and verify the schema
+   downstream consumers rely on — non-empty suite name and rows, every
+   row carrying string config/kernel and finite numeric makespan and
+   overlap fields. *)
+let check_bench_json path =
+  let fail msg =
+    Printf.eprintf "bench check FAILED (%s): %s\n" path msg;
+    exit 2
+  in
+  let read () =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let doc =
+    match Obs.Json.parse (read ()) with
+    | Ok v -> v
+    | Error msg -> fail ("not valid JSON: " ^ msg)
+  in
+  let str_field obj name =
+    match Obs.Json.member name obj with
+    | Some (Obs.Json.Str s) when s <> "" -> s
+    | _ -> fail (Printf.sprintf "missing or empty string field %S" name)
+  in
+  let num_field obj name =
+    match Obs.Json.member name obj with
+    | Some (Obs.Json.Num x) when Float.is_finite x -> x
+    | _ -> fail (Printf.sprintf "missing or non-finite numeric field %S" name)
+  in
+  ignore (str_field doc "suite");
+  ignore (num_field doc "world_size");
+  let rows =
+    match Obs.Json.member "rows" doc with
+    | Some (Obs.Json.List (_ :: _ as rows)) -> rows
+    | Some (Obs.Json.List []) -> fail "rows is empty"
+    | _ -> fail "missing rows list"
+  in
+  List.iter
+    (fun row ->
+      ignore (str_field row "config");
+      ignore (str_field row "kernel");
+      if num_field row "makespan_us" < 0.0 then fail "negative makespan_us";
+      let o = num_field row "overlap_ratio" in
+      if o < 0.0 || o > 1.0 then fail "overlap_ratio outside [0, 1]")
+    rows;
+  Printf.printf "[%s: check ok, %d rows]\n%!" path (List.length rows)
 
 (* Resolve every row through the cache, fan the misses out over the
    pool, and stitch the results back in row order.  The sweep stats go
@@ -924,6 +1041,9 @@ let () =
     | "--no-cache" :: rest ->
       use_cache := false;
       parse acc rest
+    | "--check" :: rest ->
+      check_artifacts := true;
+      parse acc rest
     | "--cache" :: f :: rest ->
       cache_file := f;
       parse acc rest
@@ -944,7 +1064,10 @@ let () =
     List.iter
       (fun name ->
         match List.assoc_opt name json_suites with
-        | Some rows_of -> write_bench_json cache name rows_of
+        | Some rows_of ->
+          write_bench_json cache name rows_of;
+          if !check_artifacts then
+            check_bench_json (Printf.sprintf "BENCH_%s.json" name)
         | None ->
           Printf.printf "unknown suite %S; available: %s\n" name
             (String.concat ", " (List.map fst json_suites)))

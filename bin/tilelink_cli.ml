@@ -905,6 +905,167 @@ let profile_cmd =
       $ out_prefix_arg $ check_arg)
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Harness = Tilelink_chaos.Harness
+
+let chaos_run seed trials workload jobs no_retry policy out perfetto_path
+    check =
+  let retry = not no_retry in
+  let pool =
+    if jobs > 1 then
+      Some (Tilelink_exec.Pool.create ~domains:jobs ())
+    else None
+  in
+  let run () =
+    Harness.run_trials ?pool ~retry ~policy ~workload ~seed ~trials ()
+  in
+  let summary = run () in
+  let json = Harness.summary_to_string summary in
+  Printf.printf
+    "chaos %s seed %d: %d trials — %d clean, %d recovered, %d degraded, %d \
+     stalled\n"
+    (Harness.workload_to_string workload)
+    seed trials summary.Harness.s_clean summary.Harness.s_recovered
+    summary.Harness.s_degraded summary.Harness.s_stalled;
+  let latencies = List.sort compare summary.Harness.s_recovery_latencies in
+  (if latencies <> [] then
+     let pct p = Tilelink_sim.Stats.percentile p latencies in
+     Printf.printf
+       "recovery latency: %d signals, p50 %.1f us, p95 %.1f us, p99 %.1f us\n"
+       (List.length latencies) (pct 50.0) (pct 95.0) (pct 99.0));
+  List.iter
+    (fun t ->
+      Printf.printf "  trial %d: %-9s overlap %.2f ideal %.1f us total %.1f \
+                     us%s%s\n"
+        t.Harness.index
+        (Harness.classification_to_string t.Harness.classification)
+        t.Harness.achieved_overlap t.Harness.ideal_us t.Harness.total_us
+        (if t.Harness.numerics_ok then "" else " NUMERICS MISMATCH")
+        (match t.Harness.stall with
+        | Some s ->
+          Printf.sprintf " (stalled on %s, producer rank %d)" s.Harness.si_key
+            s.Harness.si_owner
+        | None -> ""))
+    summary.Harness.s_trials;
+  let bad =
+    List.filter
+      (fun t ->
+        (not t.Harness.numerics_ok)
+        && t.Harness.classification <> Harness.Stalled)
+      summary.Harness.s_trials
+  in
+  if bad <> [] then begin
+    Printf.eprintf "chaos FAILED: %d completed trial(s) with wrong numerics\n"
+      (List.length bad);
+    exit 2
+  end;
+  (match out with
+  | Some path ->
+    write_file path json;
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  (match perfetto_path with
+  | Some path ->
+    let _trial, trace, telemetry =
+      Harness.profile_trial ~retry ~policy ~workload ~seed ~index:0 ()
+    in
+    write_file path
+      (Obs.Perfetto.export_string ~trace
+         ~journal:(Obs.Telemetry.journal telemetry) ());
+    Printf.printf "wrote %s (fault/retry/recovery instants marked)\n" path
+  | None -> ());
+  if check then begin
+    let json2 = Harness.summary_to_string (run ()) in
+    if json <> json2 then begin
+      Printf.eprintf
+        "chaos check FAILED: same seed produced different summary JSON\n";
+      exit 2
+    end;
+    Printf.printf
+      "chaos check: ok (summary JSON byte-identical across two runs)\n"
+  end
+
+let chaos_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Chaos seed.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "trials" ] ~docv:"K" ~doc:"Independent seeded trials to run.")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("mlp", Harness.Mlp_ag_gemm);
+               ("moe", Harness.Moe_part2);
+               ("attention", Harness.Attention_ag);
+             ])
+          Harness.Mlp_ag_gemm
+      & info [ "workload" ] ~docv:"mlp|moe|attention"
+          ~doc:"Workload to inject faults into.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"J"
+          ~doc:"Worker domains for the trial sweep (1 = sequential).")
+  in
+  let no_retry_arg =
+    Arg.(
+      value & flag
+      & info [ "no-retry" ]
+          ~doc:"Disable watchdog retries; overdue waits go straight to the \
+                policy action.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("degrade", Tilelink_core.Chaos.Degrade);
+               ("failstop", Tilelink_core.Chaos.Fail_stop) ])
+          Tilelink_core.Chaos.Degrade
+      & info [ "policy" ] ~docv:"degrade|failstop"
+          ~doc:"What the watchdog does once retries are exhausted.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the summary JSON here.")
+  in
+  let perfetto_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:"Re-run trial 0 with tracing and write a Perfetto trace with \
+                fault and recovery marks.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Run the sweep twice and fail unless the summary JSON is \
+                byte-identical.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run seeded fault-injection trials through a workload, validate \
+          numerics against fault-free runs, and classify each trial as \
+          clean, recovered, degraded, or stalled.")
+    Term.(
+      const chaos_run $ seed_arg $ trials_arg $ workload_arg $ jobs_arg
+      $ no_retry_arg $ policy_arg $ out_arg $ perfetto_arg $ check_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "TileLink reproduction: overlapped kernels on a simulated GPU cluster" in
@@ -923,4 +1084,5 @@ let () =
             emit_cmd;
             report_cmd;
             profile_cmd;
+            chaos_cmd;
           ]))

@@ -1,0 +1,116 @@
+(** Chaos trial harness: run seeded fault schedules through real
+    workloads, validate numerics against fault-free runs, classify the
+    outcome, and export a deterministic summary.
+
+    Every number in a trial comes from simulation time and seeded
+    PRNGs, so the same (workload, seed, trials) triple produces
+    byte-identical summary JSON on every run — including under the
+    parallel {!run_trials} path, whose pool returns results in input
+    order. *)
+
+open Tilelink_core
+module Obs = Tilelink_obs
+
+type workload = Mlp_ag_gemm | Moe_part2 | Attention_ag
+
+val workload_to_string : workload -> string
+val workload_of_string : string -> workload option
+
+(** Trial outcome, in decreasing order of health: [Clean] (no recovery
+    action needed), [Recovered] (watchdog re-issued lost signals),
+    [Degraded] (waits force-released; fallback recomputation charged),
+    [Stalled] (watchdog raised {!Chaos.Stall} under [Fail_stop]). *)
+type classification = Clean | Recovered | Degraded | Stalled
+
+val classification_to_string : classification -> string
+
+(** Where a stalled trial got stuck: the missing signal, its producing
+    rank, channel index and (when the workload's channels map to row
+    ranges) the tile rows it covers, plus the blocked rank. *)
+type stall_info = {
+  si_key : string;
+  si_kind : string;
+  si_owner : int;
+  si_channel : int option;
+  si_rank : int;
+  si_tile_rows : (int * int) option;
+}
+
+type trial = {
+  index : int;
+  trial_seed : int;  (** derived from (seed, index) *)
+  classification : classification;
+  ideal_us : float;  (** fault-free makespan of the same program *)
+  makespan_us : float;  (** chaos-run makespan (detection time if stalled) *)
+  fallback_us : float;  (** analytic non-overlapped recomputation cost *)
+  total_us : float;  (** makespan + fallback *)
+  achieved_overlap : float;  (** ideal / total; < 1.0 when degraded *)
+  numerics_ok : bool;  (** outputs match the workload reference *)
+  retries : int;
+  recovered_signals : (string * float) list;  (** (key, latency µs) *)
+  degraded_keys : string list;
+  faults : (string * string) list;  (** schedule's injection log *)
+  stall : stall_info option;
+}
+
+type summary = {
+  s_workload : workload;
+  s_seed : int;
+  s_trials : trial list;
+  s_clean : int;
+  s_recovered : int;
+  s_degraded : int;
+  s_stalled : int;
+  s_recovery_latencies : float list;
+}
+
+val run_trial :
+  ?spec:Chaos.spec ->
+  ?retry:bool ->
+  ?policy:Chaos.policy ->
+  ?watchdog:Chaos.watchdog ->
+  workload:workload ->
+  seed:int ->
+  index:int ->
+  unit ->
+  trial
+(** Run one trial: a fault-free run to measure the ideal makespan,
+    then the seeded chaos run with a watchdog scaled to it ([watchdog]
+    overrides the scaling verbatim).  [retry] defaults to [true],
+    [policy] to [Degrade], [spec] to {!Chaos.default_spec}. *)
+
+val profile_trial :
+  ?spec:Chaos.spec ->
+  ?retry:bool ->
+  ?policy:Chaos.policy ->
+  ?watchdog:Chaos.watchdog ->
+  workload:workload ->
+  seed:int ->
+  index:int ->
+  unit ->
+  trial * Tilelink_sim.Trace.t * Obs.Telemetry.t
+(** Like {!run_trial} but with tracing enabled on the chaos run and
+    the telemetry handle returned, for Perfetto export with fault and
+    recovery instants marked. *)
+
+val run_trials :
+  ?pool:Tilelink_exec.Pool.t ->
+  ?spec:Chaos.spec ->
+  ?retry:bool ->
+  ?policy:Chaos.policy ->
+  ?watchdog:Chaos.watchdog ->
+  workload:workload ->
+  seed:int ->
+  trials:int ->
+  unit ->
+  summary
+(** Run [trials] independent trials (sub-seeded from [seed]) on the
+    pool when given, sequentially otherwise; results are in trial-index
+    order either way.  Raises [Invalid_argument] when [trials <= 0]. *)
+
+val summarize : workload:workload -> seed:int -> trial list -> summary
+val trial_to_json : trial -> Obs.Json.t
+val summary_to_json : summary -> Obs.Json.t
+
+val summary_to_string : summary -> string
+(** Indented JSON; byte-identical for identical inputs. *)

@@ -13,6 +13,17 @@ type rank = {
   nvlink_egress : Tilelink_sim.Bandwidth.t;
 }
 
+(* A machine-level disturbance: time-varying link/NIC rate multipliers,
+   per-rank compute slowdowns, and copy-engine stall injections.  All
+   functions must be pure in simulation time so that the same seed
+   replays the same run. *)
+type disturbance = {
+  link_rate : rank:int -> now:float -> float;
+  nic_rate : node:int -> now:float -> float;
+  compute : rank:int -> now:float -> float;
+  copy_stall_us : rank:int -> now:float -> float;
+}
+
 type t = {
   spec : Spec.t;
   world_size : int;
@@ -20,6 +31,7 @@ type t = {
   trace : Tilelink_sim.Trace.t;
   ranks : rank array;
   nics : Tilelink_sim.Bandwidth.t array; (* one per node *)
+  mutable disturbance : disturbance option;
 }
 
 let create ?(trace_enabled = false) (spec : Spec.t) ~world_size =
@@ -59,7 +71,29 @@ let create ?(trace_enabled = false) (spec : Spec.t) ~world_size =
               ~latency_us:spec.interconnect.nvlink_latency ~streams:1 ();
         })
   in
-  { spec; world_size; engine; trace; ranks; nics }
+  { spec; world_size; engine; trace; ranks; nics; disturbance = None }
+
+(* Installing a disturbance also wires the bandwidth throttles so the
+   link servers themselves sample the degradation at admission time. *)
+let set_disturbance t d =
+  t.disturbance <- Some d;
+  Array.iter
+    (fun r ->
+      Tilelink_sim.Bandwidth.set_throttle r.nvlink_egress (fun ~now ->
+          d.link_rate ~rank:r.id ~now))
+    t.ranks;
+  Array.iteri
+    (fun node nic ->
+      Tilelink_sim.Bandwidth.set_throttle nic (fun ~now ->
+          d.nic_rate ~node ~now))
+    t.nics
+
+let clear_disturbance t =
+  t.disturbance <- None;
+  Array.iter
+    (fun r -> Tilelink_sim.Bandwidth.clear_throttle r.nvlink_egress)
+    t.ranks;
+  Array.iter Tilelink_sim.Bandwidth.clear_throttle t.nics
 
 let spec t = t.spec
 let world_size t = t.world_size
@@ -69,6 +103,20 @@ let rank t id = t.ranks.(id)
 let now t = Tilelink_sim.Engine.now t.engine
 
 let same_node t src dst = t.ranks.(src).node = t.ranks.(dst).node
+
+(* Compute-straggler multiplier for [rank_id] at the current instant;
+   1.0 when no disturbance is installed.  Sampled once per kernel issue
+   by the runtime. *)
+let compute_scale t ~rank_id =
+  match t.disturbance with
+  | None -> 1.0
+  | Some d -> Float.max 1e-6 (d.compute ~rank:rank_id ~now:(Tilelink_sim.Engine.now t.engine))
+
+let copy_stall_us t ~rank_id =
+  match t.disturbance with
+  | None -> 0.0
+  | Some d ->
+    Float.max 0.0 (d.copy_stall_us ~rank:rank_id ~now:(Tilelink_sim.Engine.now t.engine))
 
 let num_nodes t = Array.length t.nics
 

@@ -11,7 +11,38 @@ type rank = {
 
 type t
 
+(** A machine-level disturbance for fault injection: time-varying
+    link/NIC rate multipliers, per-rank compute-straggler multipliers
+    and copy-engine stall durations.  Every function must depend only
+    on its arguments (no wall clock, no hidden mutation) so a seeded
+    schedule replays identically. *)
+type disturbance = {
+  link_rate : rank:int -> now:float -> float;
+      (** NVLink-egress rate multiplier for [rank] at sim time [now]. *)
+  nic_rate : node:int -> now:float -> float;
+  compute : rank:int -> now:float -> float;
+      (** Kernel-duration multiplier (>= 1.0 models a straggler). *)
+  copy_stall_us : rank:int -> now:float -> float;
+      (** Extra stall, in µs, charged before a copy issued at [now]. *)
+}
+
 val create : ?trace_enabled:bool -> Spec.t -> world_size:int -> t
+
+val set_disturbance : t -> disturbance -> unit
+(** Install a disturbance: wires {!Tilelink_sim.Bandwidth.set_throttle}
+    onto every NVLink egress server and NIC, and exposes compute/copy
+    factors through {!compute_scale} and {!copy_stall_us}. *)
+
+val clear_disturbance : t -> unit
+
+val compute_scale : t -> rank_id:int -> float
+(** Straggler multiplier for [rank_id] at the current sim instant
+    (1.0 without a disturbance). *)
+
+val copy_stall_us : t -> rank_id:int -> float
+(** Copy-engine stall to charge before a copy issued now (0.0 without
+    a disturbance). *)
+
 val spec : t -> Spec.t
 val world_size : t -> int
 val engine : t -> Tilelink_sim.Engine.t

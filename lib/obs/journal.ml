@@ -21,6 +21,13 @@ type event =
   | Channel_acquire of { rank : int; base : int; extent : int }
   | Channel_release of { rank : int; base : int; extent : int }
   | Deadlock of { message : string; blocked : int }
+  | Fault_injected of { kind : string; key : string; rank : int }
+      (** Chaos injected a fault of [kind] (drop/duplicate/delay/...)
+          on signal [key] owned by [rank]. *)
+  | Retry of { key : string; rank : int; attempt : int }
+  | Recovered of { key : string; rank : int; latency : float }
+  | Stall_detected of { key : string; rank : int; threshold : int; value : int }
+  | Degraded of { key : string; rank : int }
 
 type entry = { t : float; seq : int; event : event }
 
@@ -67,6 +74,11 @@ let event_name = function
   | Channel_acquire _ -> "channel_acquire"
   | Channel_release _ -> "channel_release"
   | Deadlock _ -> "deadlock"
+  | Fault_injected _ -> "fault_injected"
+  | Retry _ -> "retry"
+  | Recovered _ -> "recovered"
+  | Stall_detected _ -> "stall_detected"
+  | Degraded _ -> "degraded"
 
 let entry_to_json { t = time; seq; event } =
   let base = [ ("t", Json.Num time); ("seq", Json.Num (float_of_int seq)) ] in
@@ -112,8 +124,66 @@ let entry_to_json { t = time; seq; event } =
         ("message", Json.Str message);
         ("blocked", Json.Num (float_of_int blocked));
       ]
+    | Fault_injected { kind; key; rank } ->
+      [
+        ("kind", Json.Str kind);
+        ("key", Json.Str key);
+        ("rank", Json.Num (float_of_int rank));
+      ]
+    | Retry { key; rank; attempt } ->
+      [
+        ("key", Json.Str key);
+        ("rank", Json.Num (float_of_int rank));
+        ("attempt", Json.Num (float_of_int attempt));
+      ]
+    | Recovered { key; rank; latency } ->
+      [
+        ("key", Json.Str key);
+        ("rank", Json.Num (float_of_int rank));
+        ("latency", Json.Num latency);
+      ]
+    | Stall_detected { key; rank; threshold; value } ->
+      [
+        ("key", Json.Str key);
+        ("rank", Json.Num (float_of_int rank));
+        ("threshold", Json.Num (float_of_int threshold));
+        ("value", Json.Num (float_of_int value));
+      ]
+    | Degraded { key; rank } ->
+      [ ("key", Json.Str key); ("rank", Json.Num (float_of_int rank)) ]
   in
   Json.Obj (("event", Json.Str (event_name event)) :: (base @ fields))
+
+(* One-line rendering for exception payloads: the deadlock enrichment
+   splices the last few journal entries into the message. *)
+let entry_summary { t = time; event; _ } =
+  let detail =
+    match event with
+    | Signal_set { key; rank; amount; value } ->
+      Printf.sprintf "%s rank=%d +%d -> %d" key rank amount value
+    | Wait_begin { key; rank; threshold } ->
+      Printf.sprintf "%s rank=%d >=%d" key rank threshold
+    | Wait_end { key; rank; threshold; started } ->
+      Printf.sprintf "%s rank=%d >=%d (began t=%.1f)" key rank threshold started
+    | Tile_push { label; src; dst; bytes } | Tile_pull { label; src; dst; bytes }
+      ->
+      Printf.sprintf "%s %d->%d %.0fB" label src dst bytes
+    | Channel_acquire { rank; base; extent }
+    | Channel_release { rank; base; extent } ->
+      Printf.sprintf "rank=%d base=%d extent=%d" rank base extent
+    | Deadlock { message; blocked } ->
+      Printf.sprintf "blocked=%d %s" blocked message
+    | Fault_injected { kind; key; rank } ->
+      Printf.sprintf "%s %s rank=%d" kind key rank
+    | Retry { key; rank; attempt } ->
+      Printf.sprintf "%s rank=%d attempt=%d" key rank attempt
+    | Recovered { key; rank; latency } ->
+      Printf.sprintf "%s rank=%d after %.1fus" key rank latency
+    | Stall_detected { key; rank; threshold; value } ->
+      Printf.sprintf "%s rank=%d value=%d threshold=%d" key rank value threshold
+    | Degraded { key; rank } -> Printf.sprintf "%s rank=%d" key rank
+  in
+  Printf.sprintf "t=%.1f %s %s" time (event_name event) detail
 
 let to_json t =
   Json.Obj

@@ -14,6 +14,11 @@ type event =
   | Channel_acquire of { rank : int; base : int; extent : int }
   | Channel_release of { rank : int; base : int; extent : int }
   | Deadlock of { message : string; blocked : int }
+  | Fault_injected of { kind : string; key : string; rank : int }
+  | Retry of { key : string; rank : int; attempt : int }
+  | Recovered of { key : string; rank : int; latency : float }
+  | Stall_detected of { key : string; rank : int; threshold : int; value : int }
+  | Degraded of { key : string; rank : int }
 
 type entry = { t : float; seq : int; event : event }
 
@@ -36,4 +41,9 @@ val entries : t -> entry list
 (** Oldest first. *)
 
 val event_name : event -> string
+
+val entry_summary : entry -> string
+(** One-line ["t=... <event> <detail>"] rendering, suitable for
+    splicing into exception messages. *)
+
 val to_json : t -> Json.t

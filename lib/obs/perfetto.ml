@@ -210,26 +210,60 @@ let bandwidth_counter_events ?(slices = 64) ~duration journal =
       per_rank []
   end
 
+let instant ~name ~scope ~t ~rank args =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "i");
+      ("s", Json.Str scope);
+      ("ts", Json.Num t);
+      ("pid", Json.Num (float_of_int rank));
+      ("args", Json.Obj args);
+    ]
+
+(* Deadlocks plus every chaos-related journal event: injected faults
+   are thread-scoped marks on the owning rank's track, recovery actions
+   likewise, stalls are global so they are visible at any zoom. *)
 let instant_events journal =
   List.filter_map
     (fun (e : Journal.entry) ->
+      let t = e.Journal.t in
       match e.Journal.event with
       | Journal.Deadlock { message; blocked } ->
         Some
-          (Json.Obj
+          (instant ~name:"DEADLOCK" ~scope:"g" ~t ~rank:0
              [
-               ("name", Json.Str "DEADLOCK");
-               ("ph", Json.Str "i");
-               ("s", Json.Str "g");
-               ("ts", Json.Num e.Journal.t);
-               ("pid", Json.Num 0.0);
-               ( "args",
-                 Json.Obj
-                   [
-                     ("message", Json.Str message);
-                     ("blocked", Json.Num (float_of_int blocked));
-                   ] );
+               ("message", Json.Str message);
+               ("blocked", Json.Num (float_of_int blocked));
              ])
+      | Journal.Fault_injected { kind; key; rank } ->
+        Some
+          (instant
+             ~name:(Printf.sprintf "FAULT %s" kind)
+             ~scope:"p" ~t ~rank
+             [ ("kind", Json.Str kind); ("key", Json.Str key) ])
+      | Journal.Retry { key; rank; attempt } ->
+        Some
+          (instant ~name:"RETRY" ~scope:"p" ~t ~rank
+             [
+               ("key", Json.Str key);
+               ("attempt", Json.Num (float_of_int attempt));
+             ])
+      | Journal.Recovered { key; rank; latency } ->
+        Some
+          (instant ~name:"RECOVERED" ~scope:"p" ~t ~rank
+             [ ("key", Json.Str key); ("latency_us", Json.Num latency) ])
+      | Journal.Stall_detected { key; rank; threshold; value } ->
+        Some
+          (instant ~name:"STALL" ~scope:"g" ~t ~rank
+             [
+               ("key", Json.Str key);
+               ("threshold", Json.Num (float_of_int threshold));
+               ("value", Json.Num (float_of_int value));
+             ])
+      | Journal.Degraded { key; rank } ->
+        Some (instant ~name:"DEGRADED" ~scope:"p" ~t ~rank
+                [ ("key", Json.Str key) ])
       | _ -> None)
     (Journal.entries journal)
 

@@ -9,24 +9,45 @@
 
 type t = {
   name : string;
+  engine : Engine.t;
   rate : float;          (* bytes per microsecond *)
   latency : float;       (* microseconds *)
   server : Resource.t;
   mutable bytes_moved : float;
   mutable transfer_count : int;
+  (* Time-varying rate multiplier, sampled at admission.  Installed by
+     fault injection (degradation / outage windows); [None] means the
+     link runs at its nominal rate. *)
+  mutable throttle : (now:float -> float) option;
 }
 
 let create engine ~name ~gbps ~latency_us ?(streams = 1) () =
   if gbps <= 0.0 then invalid_arg "Bandwidth.create: rate must be > 0";
   {
     name;
+    engine;
     (* GB/s = 1e9 B / 1e6 µs = 1e3 B/µs *)
     rate = gbps *. 1.0e3;
     latency = latency_us;
     server = Resource.create engine ~name ~capacity:streams;
     bytes_moved = 0.0;
     transfer_count = 0;
+    throttle = None;
   }
+
+let set_throttle t f = t.throttle <- Some f
+let clear_throttle t = t.throttle <- None
+
+(* Effective rate at admission time.  An outage is modelled as a very
+   small multiplier rather than zero so transfers finish eventually and
+   the watchdog — not a division by zero — decides what counts as
+   stalled. *)
+let effective_rate t =
+  match t.throttle with
+  | None -> t.rate
+  | Some f ->
+    let m = f ~now:(Engine.now t.engine) in
+    t.rate *. Float.max m 1e-6
 
 let name t = t.name
 let bytes_moved t = t.bytes_moved
@@ -43,7 +64,7 @@ let duration t ~bytes =
    latencies. *)
 let transfer t ~bytes =
   Resource.use t.server 1 (fun () ->
-      Process.wait (bytes /. t.rate);
+      Process.wait (bytes /. effective_rate t);
       t.bytes_moved <- t.bytes_moved +. bytes;
       t.transfer_count <- t.transfer_count + 1);
   Process.wait t.latency

@@ -20,7 +20,17 @@ val transfer_count : t -> int
 val busy_time : t -> float
 
 val duration : t -> bytes:float -> float
-(** Service time of a transfer, excluding queueing. *)
+(** Nominal service time of a transfer, excluding queueing and any
+    installed throttle (analytic models want the undisturbed figure). *)
 
 val transfer : t -> bytes:float -> unit
-(** Blocking transfer; must run inside a process. *)
+(** Blocking transfer; must run inside a process.  The wire time uses
+    the throttled rate sampled at admission. *)
+
+val set_throttle : t -> (now:float -> float) -> unit
+(** Install a time-varying rate multiplier, evaluated at each
+    transfer's admission instant.  Multipliers are clamped to a small
+    positive floor so an "outage" slows transfers to a crawl rather
+    than dividing by zero. *)
+
+val clear_throttle : t -> unit

@@ -69,6 +69,7 @@ let blocked_time t =
   +. (float_of_int t.blocked_processes *. (t.now -. t.last_blocked_change))
 
 let blocked_processes t = t.blocked_processes
+let live_processes t = t.live_processes
 
 let step t =
   match Pqueue.pop t.events with

@@ -21,6 +21,10 @@ val blocked_time : t -> float
 val blocked_processes : t -> int
 (** Processes currently parked on a condition. *)
 
+val live_processes : t -> int
+(** Processes started and not yet finished.  A watchdog process can
+    poll this to learn when it is the only thing left running. *)
+
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at [now t +. delay]. *)
 

@@ -6,6 +6,20 @@
    notifies are release-stores, waits are acquire-loads (the simulator
    realizes them as waitable counters). *)
 
+(* What the fault interceptor decides about one notify.  [Delay]
+   reschedules delivery after the given number of microseconds through
+   the scheduler the runtime installed. *)
+type decision = Deliver | Drop | Duplicate | Delay of float
+
+type interceptor = kind:string -> key:string -> rank:int -> amount:int -> decision
+
+type pending_wait = {
+  pw_key : string;
+  pw_rank : int;
+  pw_threshold : int;
+  pw_since : float;
+}
+
 type t = {
   world_size : int;
   channels_per_rank : int;
@@ -20,13 +34,35 @@ type t = {
      signal path. *)
   telemetry : Tilelink_obs.Telemetry.t option;
   clock : unit -> float;
+  (* Fault-injection hook applied to every notify; [None] delivers
+     everything untouched. *)
+  interceptor : interceptor option;
+  (* How to defer a delayed delivery (the runtime wires this to
+     [Engine.schedule]); without it delays degrade to prompt delivery. *)
+  scheduler : (float -> (unit -> unit) -> unit) option;
+  (* Counter lookup by name, so the watchdog can re-issue a signal
+     knowing only its key. *)
+  by_key : (string, Tilelink_sim.Counter.t) Hashtbl.t;
+  (* Cumulative value each counter *should* have received, including
+     dropped notifies: threshold <= intended means the signal was sent
+     and lost in flight (retryable); threshold > intended means the
+     producer never issued it (structural). *)
+  intended : (string, int) Hashtbl.t;
+  (* In-flight waits keyed by a unique id, so a watchdog can see who is
+     blocked on what and since when. *)
+  pending : (int, pending_wait) Hashtbl.t;
+  mutable next_wait_id : int;
 }
 
-(* Instrumented notify: record the post-add counter value so the
-   Perfetto exporter can pair each wait with the notify whose
-   cumulative value first reached its threshold. *)
-let notify_instr t ~kind ~rank counter ~amount =
-  Tilelink_sim.Counter.add counter amount;
+(* Delivery is an idempotent set-to-epoch, not an add: [epoch] is the
+   intended cumulative value captured when the notify was issued.  A
+   duplicate arrival, or a delayed delivery landing after the watchdog
+   already force-released the wait, is then a no-op instead of an
+   overshoot that would prematurely release future waits on the same
+   key.  This mirrors release-stores of a monotonically increasing
+   flag value (the hardware notify these channels model). *)
+let deliver t ~kind ~rank counter ~epoch ~amount =
+  Tilelink_sim.Counter.set_at_least counter epoch;
   if Tilelink_obs.Telemetry.active t.telemetry then begin
     let tele = Option.get t.telemetry in
     Tilelink_obs.Metrics.inc
@@ -44,38 +80,98 @@ let notify_instr t ~kind ~rank counter ~amount =
          })
   end
 
-(* Instrumented wait: journal begin/end (even for waits that are
-   satisfied immediately — a zero-latency wait is still a pairing
-   point) and feed the per-primitive wait-latency histogram. *)
-let wait_instr t ~kind ~rank counter ~threshold =
+let fault_mark t ~fault_kind ~key ~rank =
   if Tilelink_obs.Telemetry.active t.telemetry then begin
     let tele = Option.get t.telemetry in
-    let journal = Tilelink_obs.Telemetry.journal tele in
-    let key = Tilelink_sim.Counter.name counter in
-    let t0 = t.clock () in
-    Tilelink_obs.Journal.record journal ~t:t0
-      (Tilelink_obs.Journal.Wait_begin { key; rank; threshold });
-    Tilelink_sim.Counter.await_ge counter threshold;
-    let t1 = t.clock () in
-    Tilelink_obs.Journal.record journal ~t:t1
-      (Tilelink_obs.Journal.Wait_end { key; rank; threshold; started = t0 });
-    let metrics = Tilelink_obs.Telemetry.metrics tele in
-    Tilelink_obs.Metrics.inc metrics ("waits." ^ kind);
-    Tilelink_obs.Metrics.observe metrics ("wait_us." ^ kind) (t1 -. t0)
+    Tilelink_obs.Metrics.inc
+      (Tilelink_obs.Telemetry.metrics tele)
+      ("fault." ^ fault_kind);
+    Tilelink_obs.Journal.record
+      (Tilelink_obs.Telemetry.journal tele)
+      ~t:(t.clock ())
+      (Tilelink_obs.Journal.Fault_injected { kind = fault_kind; key; rank })
   end
-  else Tilelink_sim.Counter.await_ge counter threshold
+
+let intended_value t ~key =
+  Option.value ~default:0 (Hashtbl.find_opt t.intended key)
+
+(* Notify with fault interception.  Intended-value bookkeeping counts
+   the notify once regardless of the decision: a dropped signal was
+   still *sent* (so a retry may legitimately re-issue it), a duplicate
+   only entitles the consumer to one increment. *)
+let notify_instr t ~kind ~rank counter ~amount =
+  let key = Tilelink_sim.Counter.name counter in
+  let epoch = intended_value t ~key + amount in
+  Hashtbl.replace t.intended key epoch;
+  match t.interceptor with
+  | None -> deliver t ~kind ~rank counter ~epoch ~amount
+  | Some decide -> (
+    match decide ~kind ~key ~rank ~amount with
+    | Deliver -> deliver t ~kind ~rank counter ~epoch ~amount
+    | Drop -> fault_mark t ~fault_kind:"drop" ~key ~rank
+    | Duplicate ->
+      fault_mark t ~fault_kind:"duplicate" ~key ~rank;
+      deliver t ~kind ~rank counter ~epoch ~amount;
+      deliver t ~kind ~rank counter ~epoch ~amount
+    | Delay d -> (
+      fault_mark t ~fault_kind:"delay" ~key ~rank;
+      match t.scheduler with
+      | Some sched ->
+        sched d (fun () -> deliver t ~kind ~rank counter ~epoch ~amount)
+      | None -> deliver t ~kind ~rank counter ~epoch ~amount))
+
+(* Instrumented wait: journal begin/end (even for waits that are
+   satisfied immediately — a zero-latency wait is still a pairing
+   point) and feed the per-primitive wait-latency histogram.  The
+   pending-wait registry is maintained unconditionally: it is what
+   watchdogs and deadlock enrichment read, and must not depend on
+   telemetry being on. *)
+let wait_instr t ~kind ~rank counter ~threshold =
+  let key = Tilelink_sim.Counter.name counter in
+  let id = t.next_wait_id in
+  t.next_wait_id <- id + 1;
+  Hashtbl.replace t.pending id
+    { pw_key = key; pw_rank = rank; pw_threshold = threshold;
+      pw_since = t.clock () };
+  (if Tilelink_obs.Telemetry.active t.telemetry then begin
+     let tele = Option.get t.telemetry in
+     let journal = Tilelink_obs.Telemetry.journal tele in
+     let t0 = t.clock () in
+     Tilelink_obs.Journal.record journal ~t:t0
+       (Tilelink_obs.Journal.Wait_begin { key; rank; threshold });
+     Tilelink_sim.Counter.await_ge counter threshold;
+     let t1 = t.clock () in
+     Tilelink_obs.Journal.record journal ~t:t1
+       (Tilelink_obs.Journal.Wait_end { key; rank; threshold; started = t0 });
+     let metrics = Tilelink_obs.Telemetry.metrics tele in
+     Tilelink_obs.Metrics.inc metrics ("waits." ^ kind);
+     Tilelink_obs.Metrics.observe metrics ("wait_us." ^ kind) (t1 -. t0)
+   end
+   else Tilelink_sim.Counter.await_ge counter threshold);
+  Hashtbl.remove t.pending id
 
 let create ~world_size ~channels_per_rank ?(peer_channels = 1) ?telemetry
-    ?(clock = fun () -> 0.0) () =
+    ?(clock = fun () -> 0.0) ?interceptor ?scheduler () =
   if world_size <= 0 then invalid_arg "Channel.create: world_size";
   if channels_per_rank <= 0 then
     invalid_arg "Channel.create: channels_per_rank";
-  let mk name = Tilelink_sim.Counter.create ~name () in
+  let by_key = Hashtbl.create 64 in
+  let mk name =
+    let c = Tilelink_sim.Counter.create ~name () in
+    Hashtbl.replace by_key name c;
+    c
+  in
   {
     world_size;
     channels_per_rank;
     telemetry;
     clock;
+    interceptor;
+    scheduler;
+    by_key;
+    intended = Hashtbl.create 64;
+    pending = Hashtbl.create 16;
+    next_wait_id = 0;
     pc =
       Array.init world_size (fun r ->
           Array.init channels_per_rank (fun c ->
@@ -90,6 +186,28 @@ let create ~world_size ~channels_per_rank ?(peer_channels = 1) ?telemetry
           Array.init world_size (fun src ->
               mk (Printf.sprintf "host[%d<-%d]" dst src)));
   }
+
+(* Deterministic ordering: oldest wait first, ties broken
+   lexicographically so the watchdog's pick is reproducible. *)
+let pending_waits t =
+  Hashtbl.fold (fun _ pw acc -> pw :: acc) t.pending []
+  |> List.sort (fun a b ->
+         match compare a.pw_since b.pw_since with
+         | 0 -> compare (a.pw_key, a.pw_rank, a.pw_threshold)
+                  (b.pw_key, b.pw_rank, b.pw_threshold)
+         | c -> c)
+
+let key_value t ~key =
+  Option.map Tilelink_sim.Counter.value (Hashtbl.find_opt t.by_key key)
+
+(* The watchdog's re-issue path: idempotent (set-at-least, not add) and
+   deliberately bypasses the interceptor — a recovery action must not
+   itself be faulted away silently; the chaos schedule models lossy
+   retries separately. *)
+let force_signal t ~key ~target =
+  match Hashtbl.find_opt t.by_key key with
+  | None -> invalid_arg (Printf.sprintf "Channel.force_signal: unknown key %s" key)
+  | Some c -> Tilelink_sim.Counter.set_at_least c target
 
 let world_size t = t.world_size
 let channels_per_rank t = t.channels_per_rank

@@ -4,18 +4,49 @@
 
 type t
 
+(** Fault-interception verdict for one notify.  [Delay d] delivers the
+    signal [d] µs later (through the scheduler installed at
+    {!create}); [Duplicate] delivers it twice (the intended value only
+    counts it once, so duplicates inflate the counter harmlessly —
+    waits are [>= threshold]). *)
+type decision = Deliver | Drop | Duplicate | Delay of float
+
+type interceptor =
+  kind:string -> key:string -> rank:int -> amount:int -> decision
+(** Called on every notify with the channel kind ([pc]/[peer]/[host]),
+    the counter key, the signalling rank and the amount. *)
+
+(** A wait currently blocked inside {!pc_wait}/{!peer_wait}/{!host_wait}:
+    which counter, which rank is waiting, for what threshold, since
+    when (simulation time). *)
+type pending_wait = {
+  pw_key : string;
+  pw_rank : int;
+  pw_threshold : int;
+  pw_since : float;
+}
+
 val create :
   world_size:int ->
   channels_per_rank:int ->
   ?peer_channels:int ->
   ?telemetry:Tilelink_obs.Telemetry.t ->
   ?clock:(unit -> float) ->
+  ?interceptor:interceptor ->
+  ?scheduler:(float -> (unit -> unit) -> unit) ->
   unit ->
   t
 (** With [telemetry], every notify/wait records a journal event
     ([clock] supplies the simulation time) and feeds per-primitive
     counters and wait-latency histograms ([wait_us.pc] / [.peer] /
-    [.host]).  Without it the signal path is unchanged. *)
+    [.host]).  Without it the signal path is unchanged.
+
+    [interceptor] sees every notify and may drop, duplicate or delay
+    it; injected faults are counted under [fault.*] metrics and
+    journalled as [Fault_injected].  [scheduler delay thunk] is how a
+    delayed delivery is deferred (the runtime passes
+    [Engine.schedule]); without one, [Delay] degrades to prompt
+    delivery. *)
 
 val world_size : t -> int
 val channels_per_rank : t -> int
@@ -36,3 +67,23 @@ val host_notify : t -> src:int -> dst:int -> amount:int -> unit
 val host_wait : t -> src:int -> dst:int -> threshold:int -> unit
 
 val total_notifies : t -> int
+
+val pending_waits : t -> pending_wait list
+(** Waits currently blocked, oldest first (deterministic order).
+    Maintained whether or not telemetry is enabled: this is the
+    waiters-for edge list watchdogs and deadlock enrichment read. *)
+
+val key_value : t -> key:string -> int option
+(** Current value of the counter named [key], if it exists. *)
+
+val intended_value : t -> key:string -> int
+(** Cumulative amount every producer *attempted* to deliver to [key],
+    including notifies the interceptor dropped.  [threshold <=
+    intended_value] means a lost-in-flight signal (retryable);
+    [threshold > intended_value] means the producer never issued it. *)
+
+val force_signal : t -> key:string -> target:int -> unit
+(** Idempotently raise the counter named [key] to at least [target],
+    waking satisfied waiters.  Bypasses the interceptor — this is the
+    watchdog's recovery path.  Raises [Invalid_argument] on an unknown
+    key. *)

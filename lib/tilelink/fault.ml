@@ -108,6 +108,77 @@ let delay_role (program : Program.t) ~rank ~role_name ~us =
     ~pc_channels:program.Program.pc_channels
     ~peer_channels:program.Program.peer_channels plans
 
+(* Emit the [nth] Notify twice: a retransmitted signal.  Because waits
+   are >= comparisons on monotonic counters, a correct program must
+   tolerate duplication — only the counter value inflates. *)
+let duplicate_notify (program : Program.t) ~rank ~nth =
+  let seen = ref 0 in
+  map_rank_tasks program ~rank ~f:(fun tasks ->
+      List.map
+        (fun (task : Program.task) ->
+          {
+            task with
+            Program.instrs =
+              List.concat_map
+                (fun instr ->
+                  match instr with
+                  | Instr.Notify _ ->
+                    let dup = !seen = nth in
+                    incr seen;
+                    if dup then [ instr; instr ] else [ instr ]
+                  | _ -> [ instr ])
+                task.Program.instrs;
+          })
+        tasks)
+
+(* Swap the payloads (target and amount) of the [nth] and [nth+1]
+   Notify instructions in the rank's task order, keeping their
+   positions: a reordered delivery.  If the two notifies land on
+   different channels, the earlier channel's consumer can be released
+   before its tile has been produced — premature data visibility. *)
+let reorder_notifies (program : Program.t) ~rank ~nth =
+  let notifies = ref [] in
+  Array.iteri
+    (fun r plan ->
+      if r = rank then
+        List.iter
+          (fun role ->
+            List.iter
+              (fun (task : Program.task) ->
+                List.iter
+                  (fun instr ->
+                    match instr with
+                    | Instr.Notify _ -> notifies := instr :: !notifies
+                    | _ -> ())
+                  task.Program.instrs)
+              role.Program.tasks)
+          plan)
+    (Program.plans program);
+  let order = Array.of_list (List.rev !notifies) in
+  if nth < 0 || nth + 1 >= Array.length order then
+    invalid_arg "Fault.reorder_notifies: nth out of range";
+  let tmp = order.(nth) in
+  order.(nth) <- order.(nth + 1);
+  order.(nth + 1) <- tmp;
+  let seen = ref 0 in
+  map_rank_tasks program ~rank ~f:(fun tasks ->
+      List.map
+        (fun (task : Program.task) ->
+          {
+            task with
+            Program.instrs =
+              List.map
+                (fun instr ->
+                  match instr with
+                  | Instr.Notify _ ->
+                    let replacement = order.(!seen) in
+                    incr seen;
+                    replacement
+                  | _ -> instr)
+                task.Program.instrs;
+          })
+        tasks)
+
 let count_notifies (program : Program.t) ~rank =
   List.fold_left
     (fun acc role ->

@@ -1,7 +1,14 @@
 (** Fault injection: broken or skewed variants of real programs, for
-    testing that lost signals deadlock (and are detected), premature
-    waits corrupt data (and are caught by validation), and pure delays
-    never change results. *)
+    testing that lost signals deadlock (and are detected) and pure
+    delays never change results.
+
+    Premature waits are *not* detected by the runtime itself — the
+    interpreter happily reads whatever bytes are in the destination
+    buffer.  They are caught by the data-validation path: tests run the
+    faulted program with [Runtime.run ~data:true] on a machine whose
+    links are slow enough that un-awaited tiles have not landed, then
+    compare the outputs against the workload's reference; the mismatch
+    is the detection. *)
 
 val drop_notify : Program.t -> rank:int -> nth:int -> Program.t
 (** Remove the [nth] Notify instruction (0-based, task order) on
@@ -14,5 +21,16 @@ val weaken_waits : Program.t -> rank:int -> delta:int -> Program.t
 val delay_role : Program.t -> rank:int -> role_name:string -> us:float -> Program.t
 (** Prepend a fixed delay to every task of one role: timing skew that
     must not affect results. *)
+
+val duplicate_notify : Program.t -> rank:int -> nth:int -> Program.t
+(** Emit the [nth] Notify (0-based, task order) on [rank] twice: a
+    retransmission.  Waits are [>=] on monotonic counters, so a correct
+    program must produce identical data. *)
+
+val reorder_notifies : Program.t -> rank:int -> nth:int -> Program.t
+(** Swap the payloads of the [nth] and [nth+1] Notify on [rank],
+    keeping their program positions: a reordered delivery that can
+    release a consumer before its tile was produced.  Raises
+    [Invalid_argument] if fewer than [nth + 2] notifies exist. *)
 
 val count_notifies : Program.t -> rank:int -> int

@@ -107,7 +107,13 @@ let exec_instr cluster channels memory ~telemetry ~data ~rank ~lane
       if !comm_active > 0 then spec.Spec.overheads.fusion_interference
       else 1.0
     in
-    let duration = cost_duration spec ~sms:worker_sms cost *. interference in
+    (* Straggler multiplier sampled at issue: a chaos disturbance can
+       slow this rank's kernels; 1.0 when none is installed. *)
+    let duration =
+      cost_duration spec ~sms:worker_sms cost
+      *. interference
+      *. Cluster.compute_scale cluster ~rank_id:rank
+    in
     let t0 = now () in
     if duration > 0.0 then Process.wait duration;
     Trace.add trace ~rank ~lane ~label:clabel ~t0 ~t1:(now ());
@@ -123,6 +129,10 @@ let exec_instr cluster channels memory ~telemetry ~data ~rank ~lane
     let src_rank = resolve_rank ~self:rank src.Instr.mem_rank in
     let dst_rank = resolve_rank ~self:rank dst.Instr.mem_rank in
     let t0 = now () in
+    (* Copy-engine stall injection: charged before the copy admits, so
+       it shows up inside the traced copy span. *)
+    let stall = Cluster.copy_stall_us cluster ~rank_id:rank in
+    if stall > 0.0 then Process.wait stall;
     if src_rank = dst_rank then begin
       (* Local move: a round trip through HBM at full bandwidth share —
          bulk copies saturate HBM regardless of the issuing unit. *)
@@ -252,7 +262,46 @@ let run_role cluster channels memory ~telemetry ~data ~rank ~comm_active
       ~lane:role.Program.lane ~worker_sms:1 ~comm_active ~unit_pool:None
       queue ()
 
-let run ?telemetry ?(data = false) ?memory cluster (program : Program.t) =
+(* Append the pending-waiter edge list and the tail of the journal to a
+   deadlock message, so even un-hardened callers get an actionable
+   diagnostic instead of a bare process count. *)
+let enrich_deadlock channels ~telemetry msg =
+  let take n xs =
+    let rec go n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: go (n - 1) rest
+    in
+    go n xs
+  in
+  let pending = Channel.pending_waits channels in
+  let waiter_lines =
+    List.map
+      (fun (pw : Channel.pending_wait) ->
+        Printf.sprintf "  rank %d waits %s >= %d (since t=%.1f)"
+          pw.Channel.pw_rank pw.Channel.pw_key pw.Channel.pw_threshold
+          pw.Channel.pw_since)
+      (take 16 pending)
+  in
+  let journal_lines =
+    if Obs.Telemetry.active telemetry then
+      let entries =
+        Obs.Journal.entries (Obs.Telemetry.journal (Option.get telemetry))
+      in
+      let tail = take 8 (List.rev entries) in
+      List.rev_map (fun e -> "  " ^ Obs.Journal.entry_summary e) tail
+    else []
+  in
+  String.concat "\n"
+    ((msg
+     :: Printf.sprintf "pending waiters (%d):" (List.length pending)
+     :: waiter_lines)
+    @
+    if journal_lines = [] then []
+    else "recent journal events:" :: journal_lines)
+
+let run ?telemetry ?(data = false) ?memory ?chaos cluster
+    (program : Program.t) =
   (match Program.validate program with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Runtime.run: invalid program: " ^ msg));
@@ -263,12 +312,22 @@ let run ?telemetry ?(data = false) ?memory cluster (program : Program.t) =
     | Some m -> m
     | None -> Memory.create ~world_size:(Program.world_size program)
   in
+  let interceptor =
+    match chaos with
+    | Some { Chaos.c_schedule = Some sched; _ } ->
+      Chaos.apply_to_cluster sched cluster;
+      Some (Chaos.interceptor sched)
+    | _ -> None
+  in
   let channels =
     Channel.create
       ~world_size:(Program.world_size program)
       ~channels_per_rank:program.Program.pc_channels
       ~peer_channels:program.Program.peer_channels ?telemetry
       ~clock:(fun () -> Cluster.now cluster)
+      ?interceptor
+      ~scheduler:(fun delay thunk ->
+        Engine.schedule (Cluster.engine cluster) ~delay thunk)
       ()
   in
   let start = Cluster.now cluster in
@@ -285,17 +344,27 @@ let run ?telemetry ?(data = false) ?memory cluster (program : Program.t) =
         plan)
     (Program.plans program);
   let engine = Cluster.engine cluster in
-  (try Engine.run engine
-   with Engine.Deadlock msg as exn ->
+  (* The watchdog is just another sim process; while it lives, the
+     event queue never drains, so a genuine hang surfaces as a
+     structured Chaos.Stall rather than Engine.Deadlock. *)
+  (match chaos with
+  | Some ({ Chaos.c_watchdog = Some wd; _ } as control) ->
+    Process.spawn engine
+      (Chaos.watchdog_body ~engine ~channels ~telemetry ~control ~wd)
+  | _ -> ());
+  (try Engine.run engine with
+   | Engine.Deadlock msg ->
      (* Preserve the context the engine had when the run wedged: the
-        journal keeps it next to the signal history that explains it. *)
+        journal keeps it next to the signal history that explains it,
+        and the exception payload carries the pending-waiter set plus
+        the journal tail for callers without telemetry access. *)
      if Obs.Telemetry.active telemetry then
        Obs.Journal.record
          (Obs.Telemetry.journal (Option.get telemetry))
          ~t:(Cluster.now cluster)
          (Obs.Journal.Deadlock
             { message = msg; blocked = Engine.blocked_processes engine });
-     raise exn);
+     raise (Engine.Deadlock (enrich_deadlock channels ~telemetry msg)));
   if Obs.Telemetry.active telemetry then begin
     let tele = Option.get telemetry in
     let m = Obs.Telemetry.metrics tele in

@@ -10,15 +10,24 @@ type result = {
 
 val run :
   ?telemetry:Tilelink_obs.Telemetry.t ->
-  ?data:bool -> ?memory:Memory.t -> Tilelink_machine.Cluster.t ->
-  Program.t -> result
+  ?data:bool -> ?memory:Memory.t -> ?chaos:Chaos.control ->
+  Tilelink_machine.Cluster.t -> Program.t -> result
 (** Execute the program to completion.  With [~data:true], [Copy] and
     [Compute] instructions also mutate [memory] (defaults to a fresh
     empty memory).  With [~telemetry], the run records per-primitive
     wait-latency histograms, tile/copy counters, journal events for
     every signal and remote tile movement, engine-level gauges
     (events executed, blocked time), and per-rank lane-utilization
-    gauges; disabled or absent telemetry adds no events.  Raises on
-    invalid programs; a schedule with missing signals raises
-    {!Tilelink_sim.Engine.Deadlock} (recorded in the journal first
-    when telemetry is on). *)
+    gauges; disabled or absent telemetry adds no events.
+
+    With [~chaos], the control's schedule is installed as a channel
+    interceptor plus cluster disturbance, and its watchdog runs as an
+    extra sim process: overdue waits are retried / degraded per its
+    policy, and hangs surface as {!Chaos.Stall} instead of
+    [Engine.Deadlock], with actions recorded in
+    [chaos.Chaos.c_recovery].
+
+    Raises on invalid programs; a schedule with missing signals and no
+    watchdog raises {!Tilelink_sim.Engine.Deadlock} whose message now
+    includes the pending-waiter set and the last journal events
+    (recorded in the journal first when telemetry is on). *)

@@ -1,0 +1,392 @@
+(* Chaos subsystem tests: seeded schedules are deterministic,
+   timing-only faults never change results, dropped signals are either
+   retried to a numerically identical completion, degraded to the
+   non-overlapped fallback, or named exactly in a structured Stall —
+   across both the MLP and MoE workloads. *)
+
+open Tilelink_core
+open Tilelink_machine
+open Tilelink_workloads
+module Chaos = Tilelink_core.Chaos
+module Harness = Tilelink_chaos.Harness
+module Pool = Tilelink_exec.Pool
+module Check = Tilelink_tensor.Check
+
+(* ------------------------------------------------------------------ *)
+(* PRNG and schedule determinism                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Chaos.Prng.create ~seed:5 and b = Chaos.Prng.create ~seed:5 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Chaos.Prng.next a)
+      (Chaos.Prng.next b)
+  done;
+  let c = Chaos.Prng.create ~seed:6 in
+  Alcotest.(check bool) "different seed, different stream" true
+    (Chaos.Prng.next a <> Chaos.Prng.next c)
+
+let test_prng_float_range () =
+  let r = Chaos.Prng.create ~seed:17 in
+  for _ = 1 to 1000 do
+    let x = Chaos.Prng.float r in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_plan_deterministic () =
+  let p () = Chaos.plan ~seed:42 ~world_size:8 () in
+  Alcotest.(check (list (pair string string)))
+    "same seed, same schedule"
+    (Chaos.injected (p ()))
+    (Chaos.injected (p ()));
+  Alcotest.(check bool) "different seed, different schedule" true
+    (Chaos.injected (Chaos.plan ~seed:43 ~world_size:8 ())
+    <> Chaos.injected (p ()))
+
+let test_derive_seed_stable () =
+  Alcotest.(check int) "stable sub-seed"
+    (Chaos.derive_seed ~seed:42 ~index:3)
+    (Chaos.derive_seed ~seed:42 ~index:3);
+  Alcotest.(check bool) "index changes sub-seed" true
+    (Chaos.derive_seed ~seed:42 ~index:3 <> Chaos.derive_seed ~seed:42 ~index:4)
+
+(* ------------------------------------------------------------------ *)
+(* Timing-only faults never change results                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Stragglers, link windows and copy stalls reshape the timeline but
+   carry no data effect, so every trial must validate bit-for-bit
+   against the reference no matter the seed. *)
+let timing_only_spec =
+  {
+    (Chaos.default_spec) with
+    Chaos.drop_prob = 0.0;
+    duplicate_prob = 0.0;
+    delay_prob = 0.0;
+  }
+
+let timing_only_prop workload seed =
+  let t =
+    Harness.run_trial ~spec:timing_only_spec ~workload ~seed ~index:0 ()
+  in
+  t.Harness.numerics_ok
+  && t.Harness.classification = Harness.Clean
+  && t.Harness.retries = 0
+
+let prop_mlp_timing_faults_preserve_results =
+  QCheck.Test.make ~name:"mlp: stragglers/link windows preserve results"
+    ~count:5
+    QCheck.(int_range 0 10_000)
+    (timing_only_prop Harness.Mlp_ag_gemm)
+
+let prop_moe_timing_faults_preserve_results =
+  QCheck.Test.make ~name:"moe: stragglers/link windows preserve results"
+    ~count:3
+    QCheck.(int_range 0 10_000)
+    (timing_only_prop Harness.Moe_part2)
+
+(* Signal delays (delivery rescheduled later) are also timing-only. *)
+let delay_only_spec =
+  {
+    (Chaos.no_machine_faults Chaos.default_spec) with
+    Chaos.delay_prob = 0.5;
+    delay_us = 30.0;
+  }
+
+let prop_delayed_signals_preserve_results =
+  QCheck.Test.make ~name:"mlp: delayed signals preserve results" ~count:5
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let t =
+        Harness.run_trial ~spec:delay_only_spec ~workload:Harness.Mlp_ag_gemm
+          ~seed ~index:0 ()
+      in
+      t.Harness.numerics_ok && t.Harness.classification <> Harness.Stalled)
+
+(* ------------------------------------------------------------------ *)
+(* Dropped notifies: retry, stall, degrade                             *)
+(* ------------------------------------------------------------------ *)
+
+let drop_spec = Chaos.signal_faults_only ~drop_prob:0.25
+
+(* Find a trial index where a dropped signal actually left a wait
+   hanging (classified Recovered under the default retry policy).  A
+   drop can be masked when a later notify raises the same key past the
+   blocked threshold, so scanning on the injection log alone is not
+   enough — the stall/degrade tests below replay the exact same
+   schedule with recovery restricted. *)
+let find_recovered_trial workload ~seed =
+  let rec go index =
+    if index > 20 then
+      Alcotest.fail "no recovered trial in 20 seeded attempts"
+    else
+      let t =
+        Harness.run_trial ~spec:drop_spec ~workload ~seed ~index ()
+      in
+      if t.Harness.classification = Harness.Recovered then (index, t)
+      else go (index + 1)
+  in
+  go 0
+
+let dropped_keys t =
+  List.filter_map
+    (fun (kind, subject) -> if kind = "drop" then Some subject else None)
+    t.Harness.faults
+
+let test_drop_retry_recovers workload () =
+  let _, t = find_recovered_trial workload ~seed:101 in
+  Alcotest.(check bool) "numerics identical to fault-free run" true
+    t.Harness.numerics_ok;
+  Alcotest.(check bool) "a signal was dropped" true (dropped_keys t <> []);
+  Alcotest.(check bool) "watchdog retried" true (t.Harness.retries > 0);
+  Alcotest.(check bool) "recovery latency recorded" true
+    (List.for_all (fun (_, l) -> l > 0.0) t.Harness.recovered_signals
+    && t.Harness.recovered_signals <> [])
+
+let test_no_retry_stall_names_signal workload () =
+  let index, with_retry = find_recovered_trial workload ~seed:101 in
+  let t =
+    Harness.run_trial ~spec:drop_spec ~retry:false ~policy:Chaos.Fail_stop
+      ~workload ~seed:101 ~index ()
+  in
+  Alcotest.(check bool) "classified stalled" true
+    (t.Harness.classification = Harness.Stalled);
+  Alcotest.(check bool) "numerics not validated" false t.Harness.numerics_ok;
+  match t.Harness.stall with
+  | None -> Alcotest.fail "stalled trial carries no stall info"
+  | Some s ->
+    Alcotest.(check bool) "stall names a dropped signal" true
+      (List.mem s.Harness.si_key (dropped_keys with_retry));
+    let kind, owner, channel = Chaos.parse_key s.Harness.si_key in
+    Alcotest.(check string) "kind parsed" kind s.Harness.si_kind;
+    Alcotest.(check int) "producer rank parsed" owner s.Harness.si_owner;
+    Alcotest.(check bool) "channel parsed" true
+      (channel = s.Harness.si_channel);
+    if s.Harness.si_kind = "pc" then
+      Alcotest.(check bool) "pc stall maps to tile rows" true
+        (s.Harness.si_tile_rows <> None)
+
+let test_degrade_fallback workload () =
+  let index, _ = find_recovered_trial workload ~seed:101 in
+  let t =
+    Harness.run_trial ~spec:drop_spec ~retry:false ~policy:Chaos.Degrade
+      ~workload ~seed:101 ~index ()
+  in
+  Alcotest.(check bool) "classified degraded" true
+    (t.Harness.classification = Harness.Degraded);
+  Alcotest.(check bool) "force-released keys recorded" true
+    (t.Harness.degraded_keys <> []);
+  Alcotest.(check bool) "achieved overlap < 1" true
+    (t.Harness.achieved_overlap < 1.0);
+  Alcotest.(check bool) "fallback cost charged" true
+    (t.Harness.fallback_us > 0.0);
+  Alcotest.(check bool) "numerics restored by fallback" true
+    t.Harness.numerics_ok
+
+(* ------------------------------------------------------------------ *)
+(* Summary determinism                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_reproducible () =
+  let run () =
+    Harness.summary_to_string
+      (Harness.run_trials ~workload:Harness.Mlp_ag_gemm ~seed:42 ~trials:3 ())
+  in
+  Alcotest.(check string) "byte-identical summary JSON" (run ()) (run ())
+
+let test_summary_counts () =
+  let s =
+    Harness.run_trials ~spec:drop_spec ~workload:Harness.Mlp_ag_gemm ~seed:101
+      ~trials:4 ()
+  in
+  Alcotest.(check int) "classes partition the trials" 4
+    (s.Harness.s_clean + s.Harness.s_recovered + s.Harness.s_degraded
+   + s.Harness.s_stalled);
+  Alcotest.(check int) "trials retained in order" 4
+    (List.length s.Harness.s_trials);
+  List.iteri
+    (fun i t -> Alcotest.(check int) "index" i t.Harness.index)
+    s.Harness.s_trials
+
+(* ------------------------------------------------------------------ *)
+(* Pool task timeouts                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let busy_work x =
+  (* Enough real work to register on the wall clock. *)
+  let s = ref x in
+  for i = 1 to 2_000_000 do
+    s := !s + i
+  done;
+  Sys.opaque_identity !s
+
+let test_pool_task_timeout () =
+  let pool = Pool.create ~domains:1 ~task_timeout_s:1e-9 () in
+  let results = Pool.map (Some pool) busy_work [ 1; 2 ] in
+  List.iter
+    (fun r ->
+      match r with
+      | Error (Pool.Task_timeout dt) ->
+        Alcotest.(check bool) "positive duration" true (dt >= 0.0)
+      | Ok _ -> Alcotest.fail "busy task under 1ns budget?"
+      | Error e -> raise e)
+    results;
+  Alcotest.(check int) "timeouts counted" 2 (Pool.stats pool).Pool.timeouts
+
+let test_pool_generous_timeout () =
+  let pool = Pool.create ~domains:1 ~task_timeout_s:60.0 () in
+  let results = Pool.map (Some pool) (fun x -> x + 1) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "all complete" [ 2; 3; 4 ]
+    (List.map Pool.get results);
+  Alcotest.(check int) "no timeouts" 0 (Pool.stats pool).Pool.timeouts
+
+(* ------------------------------------------------------------------ *)
+(* Program-level fault transforms                                      *)
+(* ------------------------------------------------------------------ *)
+
+let small_mlp = { Mlp.m = 16; k = 4; n = 6; world_size = 4 }
+
+let small_config =
+  let ring = Tile.Ring_from_self { segments = 4 } in
+  {
+    Design_space.comm_tile = (2, 128);
+    compute_tile = (2, 2);
+    comm_order = ring;
+    compute_order = ring;
+    binding = Design_space.Comm_on_sm 1;
+    stages = 2;
+  }
+
+let run_small program =
+  let memory = Mlp.ag_gemm_alloc small_mlp ~seed:11 in
+  let cluster = Cluster.create Calib.test_machine ~world_size:4 in
+  ignore (Runtime.run ~data:true ~memory cluster program);
+  memory
+
+let check_small memory =
+  List.for_all
+    (fun rank ->
+      Check.close
+        (Mlp.ag_gemm_reference memory small_mlp ~rank)
+        (Memory.find memory ~rank ~name:"y"))
+    [ 0; 1; 2; 3 ]
+
+let test_duplicate_notify_harmless () =
+  let program = Mlp.ag_gemm_program ~config:small_config small_mlp
+      ~spec_gpu:Calib.test_machine
+  in
+  let doubled = Fault.duplicate_notify program ~rank:1 ~nth:0 in
+  Alcotest.(check int) "one extra notify"
+    (Fault.count_notifies program ~rank:1 + 1)
+    (Fault.count_notifies doubled ~rank:1);
+  Alcotest.(check bool) "duplicate notify keeps results" true
+    (check_small (run_small doubled))
+
+let test_reorder_notifies_harmless () =
+  let program = Mlp.ag_gemm_program ~config:small_config small_mlp
+      ~spec_gpu:Calib.test_machine
+  in
+  let swapped = Fault.reorder_notifies program ~rank:2 ~nth:0 in
+  Alcotest.(check int) "notify count unchanged"
+    (Fault.count_notifies program ~rank:2)
+    (Fault.count_notifies swapped ~rank:2);
+  Alcotest.(check bool) "adjacent notify reorder keeps results" true
+    (check_small (run_small swapped))
+
+let test_reorder_notifies_out_of_range () =
+  let program = Mlp.ag_gemm_program ~config:small_config small_mlp
+      ~spec_gpu:Calib.test_machine
+  in
+  let n = Fault.count_notifies program ~rank:0 in
+  Alcotest.check_raises "needs a successor notify"
+    (Invalid_argument "Fault.reorder_notifies: nth out of range")
+    (fun () -> ignore (Fault.reorder_notifies program ~rank:0 ~nth:(n - 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Enriched deadlock diagnostics                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadlock_message_enriched () =
+  let program = Mlp.ag_gemm_program ~config:small_config small_mlp
+      ~spec_gpu:Calib.test_machine
+  in
+  let broken = Fault.drop_notify program ~rank:1 ~nth:0 in
+  let cluster = Cluster.create Calib.test_machine ~world_size:4 in
+  match Runtime.run cluster broken with
+  | _ -> Alcotest.fail "dropped notify should deadlock without a watchdog"
+  | exception Tilelink_sim.Engine.Deadlock msg ->
+    let contains sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "lists pending waiters" true
+      (contains "pending waiters");
+    Alcotest.(check bool) "names a blocked wait edge" true (contains "waits")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "chaos"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "prng deterministic" `Quick
+            test_prng_deterministic;
+          Alcotest.test_case "prng float range" `Quick test_prng_float_range;
+          Alcotest.test_case "plan deterministic" `Quick
+            test_plan_deterministic;
+          Alcotest.test_case "derive_seed stable" `Quick
+            test_derive_seed_stable;
+        ] );
+      ( "timing-faults",
+        [
+          qc prop_mlp_timing_faults_preserve_results;
+          qc prop_moe_timing_faults_preserve_results;
+          qc prop_delayed_signals_preserve_results;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "mlp: drop + retry recovers" `Quick
+            (test_drop_retry_recovers Harness.Mlp_ag_gemm);
+          Alcotest.test_case "moe: drop + retry recovers" `Quick
+            (test_drop_retry_recovers Harness.Moe_part2);
+          Alcotest.test_case "mlp: no-retry stall names signal" `Quick
+            (test_no_retry_stall_names_signal Harness.Mlp_ag_gemm);
+          Alcotest.test_case "moe: no-retry stall names signal" `Quick
+            (test_no_retry_stall_names_signal Harness.Moe_part2);
+          Alcotest.test_case "mlp: degrade falls back" `Quick
+            (test_degrade_fallback Harness.Mlp_ag_gemm);
+          Alcotest.test_case "moe: degrade falls back" `Quick
+            (test_degrade_fallback Harness.Moe_part2);
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "summary reproducible" `Quick
+            test_summary_reproducible;
+          Alcotest.test_case "summary counts" `Quick test_summary_counts;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "task timeout" `Quick test_pool_task_timeout;
+          Alcotest.test_case "generous timeout" `Quick
+            test_pool_generous_timeout;
+        ] );
+      ( "transforms",
+        [
+          Alcotest.test_case "duplicate notify harmless" `Quick
+            test_duplicate_notify_harmless;
+          Alcotest.test_case "reorder notifies harmless" `Quick
+            test_reorder_notifies_harmless;
+          Alcotest.test_case "reorder out of range" `Quick
+            test_reorder_notifies_out_of_range;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "deadlock message enriched" `Quick
+            test_deadlock_message_enriched;
+        ] );
+    ]
