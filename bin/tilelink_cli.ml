@@ -272,12 +272,13 @@ let tune_cmd =
 let print_outcome label (o : _ Tune.outcome) =
   Printf.printf
     "%s: best %.1f us [%s]\n   %d evaluated, %d skipped (build %d, invalid \
-     %d, deadlock %d), cache %d hits / %d misses\n"
+     %d, deadlock %d, race %d), cache %d hits / %d misses\n"
     label o.Tune.best.Tune.time
     (Design_space.config_to_string o.Tune.best.Tune.config)
     (List.length o.Tune.evaluated)
     o.Tune.skipped o.Tune.skipped_build o.Tune.skipped_invalid
-    o.Tune.skipped_deadlock o.Tune.cache_hits o.Tune.cache_misses
+    o.Tune.skipped_deadlock o.Tune.skipped_race o.Tune.cache_hits
+    o.Tune.cache_misses
 
 let autotune workload world m k n jobs cache_path =
   let pool = make_pool jobs in
@@ -1066,6 +1067,417 @@ let chaos_cmd =
       $ no_retry_arg $ policy_arg $ out_arg $ perfetto_arg $ check_arg)
 
 (* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The static sweep only *builds* programs — no simulation — so it can
+   afford to cover every shipped workload across a rank and tile-shape
+   sweep in well under a second. *)
+let verify_suite () =
+  let machine = Calib.test_machine in
+  let suite = ref [] in
+  let add name p = suite := (name, p) :: !suite in
+  (* MLP AG+GEMM, pull and push transfer modes. *)
+  List.iter
+    (fun world ->
+      List.iter
+        (fun comm_tile ->
+          let shapes =
+            { Mlp.m = 8 * world; k = 4; n = 6; world_size = world }
+          in
+          let cfg =
+            config ~world ~binding:(Design_space.Comm_on_sm 1) ~comm_tile
+              ~compute_tile:2 ~stages:2 ~ring:true
+          in
+          add
+            (Printf.sprintf "mlp_ag_gemm_pull/w%d/t%d" world comm_tile)
+            (Mlp.ag_gemm_program ~config:cfg shapes ~spec_gpu:machine);
+          add
+            (Printf.sprintf "mlp_ag_gemm_push/w%d/t%d" world comm_tile)
+            (Mlp.ag_gemm_program ~transfer:`Push ~config:cfg shapes
+               ~spec_gpu:machine))
+        [ 2; 4 ])
+    [ 2; 4; 8 ];
+  (* MLP GEMM+RS. *)
+  List.iter
+    (fun world ->
+      let shapes =
+        { Mlp.rs_m = 4 * world; rs_k = 3; rs_n = 4; rs_world = world }
+      in
+      let cfg =
+        {
+          Design_space.comm_tile = (2, 2);
+          compute_tile = (2, 2);
+          comm_order = Tile.Row_major;
+          compute_order = Tile.Row_major;
+          binding = Design_space.Comm_on_sm 1;
+          stages = 1;
+        }
+      in
+      add
+        (Printf.sprintf "mlp_gemm_rs/w%d" world)
+        (Mlp.gemm_rs_program ~config:cfg shapes ~spec_gpu:machine))
+    [ 2; 4 ];
+  (* MoE part 1 and part 2 (dynamic routing tables). *)
+  List.iter
+    (fun world ->
+      let spec =
+        {
+          Moe.tokens = 4 * world;
+          hidden = 4;
+          intermediate = 8;
+          experts = 3;
+          topk = 2;
+          world_size = world;
+        }
+      in
+      let route = Moe.routing spec ~seed:5 in
+      add
+        (Printf.sprintf "moe_part1/w%d" world)
+        (Moe.part1_program
+           ~config:
+             {
+               Moe.comm_tile_rows = 2;
+               group_tile_rows = 2;
+               comm_binding = Design_space.Comm_on_sm 1;
+             }
+           spec route ~spec_gpu:machine);
+      add
+        (Printf.sprintf "moe_part2/w%d" world)
+        (Moe.part2_program
+           ~config:
+             {
+               Moe.gg_tile_rows = 2;
+               reduce_tile_rows = 2;
+               rs_tile_rows = 2;
+               reduce_sms = 1;
+               rs_sms = 1;
+             }
+           spec route ~spec_gpu:machine))
+    [ 2; 4 ];
+  (* Sequence-parallel attention and its ring variant. *)
+  List.iter
+    (fun world ->
+      let spec =
+        {
+          Attention.batch_heads = 2;
+          seq = 8 * world;
+          head_dim = 4;
+          world_size = world;
+          causal = false;
+        }
+      in
+      let cfg = { Attention.q_tile = 4; kv_tile = 4 } in
+      add
+        (Printf.sprintf "attention/w%d" world)
+        (Attention.program ~config:cfg spec ~spec_gpu:machine);
+      add
+        (Printf.sprintf "ring_attention/w%d" world)
+        (Ring_attention.program
+           ~config:{ Ring_attention.q_tile = 4; comm_sms = 1 }
+           spec ~spec_gpu:machine))
+    [ 2; 4 ];
+  add "attention_causal/w2"
+    (Attention.program
+       ~config:{ Attention.q_tile = 4; kv_tile = 4 }
+       {
+         Attention.batch_heads = 2;
+         seq = 16;
+         head_dim = 4;
+         world_size = 2;
+         causal = true;
+       }
+       ~spec_gpu:machine);
+  (* Expert-parallel MoE dispatch/combine. *)
+  add "ep_moe/w2"
+    (let spec =
+       {
+         Ep_moe.tokens = 16;
+         hidden = 4;
+         intermediate = 6;
+         experts = 4;
+         topk = 2;
+         world_size = 2;
+       }
+     in
+     Ep_moe.program
+       ~config:{ Ep_moe.tile_rows = 2; comm_binding = Design_space.Comm_on_dma }
+       spec
+       (Ep_moe.routing spec ~seed:13)
+       ~spec_gpu:machine);
+  add "ep_moe/w4"
+    (let spec =
+       {
+         Ep_moe.tokens = 32;
+         hidden = 4;
+         intermediate = 6;
+         experts = 8;
+         topk = 2;
+         world_size = 4;
+       }
+     in
+     Ep_moe.program
+       ~config:{ Ep_moe.tile_rows = 2; comm_binding = Design_space.Comm_on_dma }
+       spec
+       (Ep_moe.routing spec ~seed:13)
+       ~spec_gpu:machine);
+  List.rev !suite
+
+(* Hand-built pathological programs: the self-test's positive controls
+   for the two checks no Fault transform exercises directly. *)
+let synthetic_deadlock () =
+  let task rank peer =
+    {
+      Program.label = Printf.sprintf "sync%d" rank;
+      instrs =
+        [
+          Instr.Wait
+            {
+              target = Instr.Peer { src = peer; dst = rank; channel = 0 };
+              threshold = 1;
+              guards = [];
+            };
+          Instr.Notify
+            {
+              target = Instr.Peer { src = rank; dst = peer; channel = 0 };
+              amount = 1;
+              releases = [];
+            };
+        ];
+    }
+  in
+  Program.create ~name:"synthetic_deadlock" ~world_size:2 ~pc_channels:1
+    ~peer_channels:1
+    [|
+      [
+        {
+          Program.role_name = "sync";
+          resource = Program.Sm_partition 1;
+          lane = Tilelink_sim.Trace.Comm_sm;
+          tasks = [ task 0 1 ];
+        };
+      ];
+      [
+        {
+          Program.role_name = "sync";
+          resource = Program.Sm_partition 1;
+          lane = Tilelink_sim.Trace.Comm_sm;
+          tasks = [ task 1 0 ];
+        };
+      ];
+    |]
+
+let synthetic_epoch_reuse () =
+  let pc = Instr.Pc { rank = 0; channel = 0 } in
+  Program.create ~name:"synthetic_epoch_reuse" ~world_size:1 ~pc_channels:1
+    ~peer_channels:1
+    [|
+      [
+        {
+          Program.role_name = "producer";
+          resource = Program.Sm_partition 1;
+          lane = Tilelink_sim.Trace.Comm_sm;
+          tasks =
+            [
+              {
+                Program.label = "p0";
+                instrs =
+                  [
+                    Instr.Notify { target = pc; amount = 1; releases = [] };
+                    Instr.Notify { target = pc; amount = 1; releases = [] };
+                  ];
+              };
+            ];
+        };
+        {
+          Program.role_name = "consumer";
+          resource = Program.Sm_partition 1;
+          lane = Tilelink_sim.Trace.Compute_sm;
+          tasks =
+            [
+              {
+                Program.label = "c0";
+                instrs =
+                  [ Instr.Wait { target = pc; threshold = 1; guards = [] } ];
+              };
+            ];
+        };
+      ];
+    |]
+
+let diag_is_structured (d : Analyzer.diag) =
+  String.length d.Analyzer.key > 0 && d.Analyzer.rank >= 0
+
+let verify_check ~seed suite =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let expect_kind name program kind_name =
+    let report = Analyzer.analyze program in
+    let errors = Analyzer.errors report in
+    match
+      List.filter
+        (fun d -> Analyzer.kind_name d.Analyzer.kind = kind_name)
+        errors
+    with
+    | [] -> fail "%s: expected a %s error, got none" name kind_name
+    | d :: _ ->
+      if not (diag_is_structured d) then
+        fail "%s: %s diagnostic lacks key/rank structure" name kind_name
+  in
+  expect_kind "synthetic_deadlock" (synthetic_deadlock ()) "deadlock_cycle";
+  expect_kind "synthetic_epoch_reuse" (synthetic_epoch_reuse ()) "epoch_reuse";
+  (* One representative per workload family: mutate its protocol and
+     demand a structured diagnostic for every seeded mutation. *)
+  let representatives =
+    [
+      "mlp_ag_gemm_pull/w2/t2";
+      "mlp_ag_gemm_push/w2/t2";
+      "mlp_gemm_rs/w2";
+      "moe_part1/w2";
+      "moe_part2/w2";
+      "attention/w2";
+      "ring_attention/w2";
+      "ep_moe/w2";
+    ]
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name suite with
+      | None -> fail "%s: missing from the sweep" name
+      | Some program ->
+        let corpus = Analyzer.mutation_corpus ~seed program in
+        let mutation_names = List.map fst corpus in
+        List.iter
+          (fun expected ->
+            if not (List.mem expected mutation_names) then
+              fail "%s: mutation %s not applicable" name expected)
+          [
+            "dropped_notify";
+            "swapped_rank";
+            "wait_epoch_off_by_one";
+            "notify_epoch_off_by_one";
+            "unsafe_hoist";
+          ];
+        List.iter
+          (fun (mutation, mutant) ->
+            match Analyzer.errors (Analyzer.analyze mutant) with
+            | [] -> fail "%s + %s: mutation not flagged" name mutation
+            | d :: _ ->
+              if not (diag_is_structured d) then
+                fail "%s + %s: diagnostic lacks key/rank structure" name
+                  mutation)
+          corpus)
+    representatives;
+  List.rev !failures
+
+let verify json_path check_flag seed =
+  let suite = verify_suite () in
+  let reports = List.map (fun (name, p) -> (name, Analyzer.analyze p)) suite in
+  let dirty =
+    List.filter (fun (_, r) -> not (Analyzer.ok r)) reports
+  in
+  Printf.printf "%-28s %5s %8s %6s %6s %5s  %s\n" "program" "keys" "notifies"
+    "waits" "errors" "warns" "status";
+  List.iter
+    (fun (name, r) ->
+      let errs = List.length (Analyzer.errors r) in
+      let warns =
+        List.length
+          (List.filter
+             (fun d -> d.Analyzer.severity = Analyzer.Warning)
+             r.Analyzer.diags)
+      in
+      Printf.printf "%-28s %5d %8d %6d %6d %5d  %s\n" name r.Analyzer.keys
+        r.Analyzer.notifies r.Analyzer.waits errs warns
+        (if errs = 0 then "ok" else "FAIL"))
+    reports;
+  List.iter
+    (fun (name, r) ->
+      List.iter
+        (fun d ->
+          Printf.printf "  %s: %s\n" name (Analyzer.diag_to_string d))
+        (Analyzer.errors r))
+    dirty;
+  let check_failures = if check_flag then verify_check ~seed suite else [] in
+  if check_flag then begin
+    List.iter (Printf.printf "check FAIL: %s\n") check_failures;
+    if check_failures = [] then
+      Printf.printf
+        "check ok: clean programs accepted; synthetic deadlock/epoch-reuse \
+         and all seeded mutations flagged with structured diagnostics\n"
+  end;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    let json =
+      Tilelink_obs.Json.Obj
+        [
+          ( "programs",
+            Tilelink_obs.Json.List
+              (List.map
+                 (fun (name, r) ->
+                   match Analyzer.report_to_json r with
+                   | Tilelink_obs.Json.Obj fields ->
+                     Tilelink_obs.Json.Obj
+                       (("name", Tilelink_obs.Json.Str name) :: fields)
+                   | other -> other)
+                 reports) );
+          ( "check",
+            if not check_flag then Tilelink_obs.Json.Null
+            else
+              Tilelink_obs.Json.Obj
+                [
+                  ("ok", Tilelink_obs.Json.Bool (check_failures = []));
+                  ( "failures",
+                    Tilelink_obs.Json.List
+                      (List.map
+                         (fun s -> Tilelink_obs.Json.Str s)
+                         check_failures) );
+                ] );
+        ]
+    in
+    let rendered = Tilelink_obs.Json.to_string ~indent:true json in
+    if path = "-" then print_endline rendered
+    else begin
+      let oc = open_out path in
+      output_string oc rendered;
+      close_out oc;
+      Printf.printf "wrote analyzer report to %s\n" path
+    end);
+  if dirty <> [] || check_failures <> [] then exit 1
+
+let verify_cmd =
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the per-program analyzer reports as JSON ('-' for \
+                stdout).")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Self-test: require every clean program to pass, and every \
+             seeded protocol mutation (dropped notify, swapped rank, epoch \
+             off-by-one, unsafe hoist) plus synthetic deadlock/epoch-reuse \
+             programs to be flagged with structured diagnostics.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 17
+      & info [ "seed" ] ~docv:"N" ~doc:"Seed for the mutation corpus.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Run the whole-program protocol analyzer over all shipped workloads \
+          across a rank and tile-shape sweep.")
+    Term.(const verify $ json_arg $ check_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "TileLink reproduction: overlapped kernels on a simulated GPU cluster" in
@@ -1085,4 +1497,5 @@ let () =
             report_cmd;
             profile_cmd;
             chaos_cmd;
+            verify_cmd;
           ]))

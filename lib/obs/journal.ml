@@ -56,14 +56,18 @@ let length t = min t.next t.capacity
 let dropped t = max 0 (t.next - t.capacity)
 
 (* Oldest first.  When the ring has wrapped, the oldest live entry sits
-   at [next mod capacity]. *)
+   at [next mod capacity].  An empty slot inside the live window should
+   be impossible, but the journal is diagnostic machinery — it must not
+   take a run down, so [None] slots are skipped rather than asserted
+   away (the wrap boundary [next = capacity] is the historical culprit:
+   [next mod capacity] is 0 there while nothing has been overwritten
+   yet). *)
 let entries t =
   let len = length t in
   let start = if t.next > t.capacity then t.next mod t.capacity else 0 in
-  List.init len (fun i ->
-      match t.buf.((start + i) mod t.capacity) with
-      | Some e -> e
-      | None -> assert false)
+  List.filter_map
+    (fun i -> t.buf.((start + i) mod t.capacity))
+    (List.init len Fun.id)
 
 let event_name = function
   | Signal_set _ -> "signal_set"

@@ -16,13 +16,26 @@ let geomean = function
     in
     exp (log_sum /. float_of_int (List.length xs))
 
+(* NaN is rejected rather than propagated: [Float.min]/[Float.max]
+   silently poison the fold and [Float.compare] sorts NaN last, so a
+   single bad sample would corrupt p99/max in BENCH and chaos summaries
+   without any visible error.  Matching the empty-list behaviour, a NaN
+   sample is caller error. *)
+let reject_nan who xs =
+  if List.exists Float.is_nan xs then
+    invalid_arg (Printf.sprintf "Stats.%s: NaN sample" who)
+
 let minimum = function
   | [] -> invalid_arg "Stats.minimum: empty"
-  | x :: xs -> List.fold_left Float.min x xs
+  | x :: xs as all ->
+    reject_nan "minimum" all;
+    List.fold_left Float.min x xs
 
 let maximum = function
   | [] -> invalid_arg "Stats.maximum: empty"
-  | x :: xs -> List.fold_left Float.max x xs
+  | x :: xs as all ->
+    reject_nan "maximum" all;
+    List.fold_left Float.max x xs
 
 let stddev xs =
   match xs with
@@ -43,6 +56,7 @@ let stddev xs =
 let percentile p = function
   | [] -> invalid_arg "Stats.percentile: empty"
   | xs ->
+    reject_nan "percentile" xs;
     let sorted = List.sort Float.compare xs in
     let n = List.length sorted in
     let rank =

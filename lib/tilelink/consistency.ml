@@ -17,17 +17,38 @@ type violation = {
 let pp_violation ppf v =
   Fmt.pf ppf "instr %d (%s): %s" v.position v.instr v.rule
 
+type fence_kind = Read_before_acquire | Write_after_release
+
+type fence_violation = {
+  fv_position : int;       (* the misordered access *)
+  fv_fence_position : int; (* the fence it crossed *)
+  fv_instr : Instr.t;
+  fv_fence : Instr.t;
+  fv_kind : fence_kind;
+}
+
 (* Acquire rule: a read of access [a] at position [i] must come after
    every Wait guarding an overlapping range.  Release rule: a write of
    access [a] at position [i] must come before every Notify releasing
-   an overlapping range. *)
-let verify_task (instrs : Instr.t list) : (unit, violation) result =
+   an overlapping range.  All violations are collected in scan order
+   (ascending access position; reads before writes at equal position;
+   ascending fence position) so [verify_task]'s head is the same first
+   violation it has always reported, while the whole-program analyzer
+   can resolve every one through the channel mappings. *)
+let task_fence_violations (instrs : Instr.t list) : fence_violation list =
   let arr = Array.of_list instrs in
   let n = Array.length arr in
-  let violation = ref None in
-  let record position instr rule =
-    if !violation = None then Some { position; instr; rule } |> fun v ->
-      violation := v
+  let found = ref [] in
+  let record i j kind =
+    found :=
+      {
+        fv_position = i;
+        fv_fence_position = j;
+        fv_instr = arr.(i);
+        fv_fence = arr.(j);
+        fv_kind = kind;
+      }
+      :: !found
   in
   for i = 0 to n - 1 do
     (* Reads before a later guarding Wait. *)
@@ -41,12 +62,7 @@ let verify_task (instrs : Instr.t list) : (unit, violation) result =
               (fun g ->
                 List.exists (fun r -> Instr.accesses_overlap g r) reads)
               guards
-          then
-            record i
-              (Instr.to_string arr.(i))
-              (Printf.sprintf
-                 "read executes before its acquire fence at instr %d (%s)" j
-                 (Instr.to_string arr.(j)))
+          then record i j Read_before_acquire
         | _ -> ()
       done;
     (* Writes after an earlier releasing Notify. *)
@@ -60,16 +76,30 @@ let verify_task (instrs : Instr.t list) : (unit, violation) result =
               (fun rel ->
                 List.exists (fun w -> Instr.accesses_overlap rel w) writes)
               releases
-          then
-            record i
-              (Instr.to_string arr.(i))
-              (Printf.sprintf
-                 "write executes after its release fence at instr %d (%s)" j
-                 (Instr.to_string arr.(j)))
+          then record i j Write_after_release
         | _ -> ()
       done
   done;
-  match !violation with None -> Ok () | Some v -> Error v
+  List.rev !found
+
+let violation_of_fence fv =
+  let rule =
+    match fv.fv_kind with
+    | Read_before_acquire ->
+      Printf.sprintf "read executes before its acquire fence at instr %d (%s)"
+        fv.fv_fence_position
+        (Instr.to_string fv.fv_fence)
+    | Write_after_release ->
+      Printf.sprintf "write executes after its release fence at instr %d (%s)"
+        fv.fv_fence_position
+        (Instr.to_string fv.fv_fence)
+  in
+  { position = fv.fv_position; instr = Instr.to_string fv.fv_instr; rule }
+
+let verify_task (instrs : Instr.t list) : (unit, violation) result =
+  match task_fence_violations instrs with
+  | [] -> Ok ()
+  | fv :: _ -> Error (violation_of_fence fv)
 
 let verify_role (role : Program.role) =
   let rec check = function

@@ -9,6 +9,22 @@ type violation = {
 
 val pp_violation : Format.formatter -> violation -> unit
 
+type fence_kind = Read_before_acquire | Write_after_release
+
+type fence_violation = {
+  fv_position : int;        (** the misordered access *)
+  fv_fence_position : int;  (** the fence it crossed *)
+  fv_instr : Instr.t;
+  fv_fence : Instr.t;
+  fv_kind : fence_kind;
+}
+
+val task_fence_violations : Instr.t list -> fence_violation list
+(** Every acquire/release ordering violation of one task's stream, in
+    scan order; [verify_task] reports the head.  The whole-program
+    analyzer resolves each violation's fence through the channel
+    mappings to name the racing producer. *)
+
 val verify_task : Instr.t list -> (unit, violation) result
 val verify_role : Program.role -> (unit, violation) result
 val verify_program : Program.t -> (unit, violation) result

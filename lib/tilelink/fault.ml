@@ -179,15 +179,109 @@ let reorder_notifies (program : Program.t) ~rank ~nth =
           })
         tasks)
 
-let count_notifies (program : Program.t) ~rank =
+(* Retarget the [nth] Notify on [rank] to the next rank's counter (a
+   wrong f_R resolution): [Pc] moves to the neighbouring rank's channel,
+   [Peer]/[Host] to the neighbouring destination.  The intended consumer
+   is never signalled and a bystander key is signalled for nothing —
+   the analyzer must report both ends. *)
+let swap_notify_rank (program : Program.t) ~rank ~nth =
+  let world = Program.world_size program in
+  let seen = ref 0 in
+  map_rank_tasks program ~rank ~f:(fun tasks ->
+      List.map
+        (fun (task : Program.task) ->
+          {
+            task with
+            Program.instrs =
+              List.map
+                (fun instr ->
+                  match instr with
+                  | Instr.Notify { target; amount; releases } ->
+                    let hit = !seen = nth in
+                    incr seen;
+                    if not hit then instr
+                    else
+                      let target =
+                        match target with
+                        | Instr.Pc { rank; channel } ->
+                          Instr.Pc { rank = (rank + 1) mod world; channel }
+                        | Instr.Peer { src; dst; channel } ->
+                          Instr.Peer { src; dst = (dst + 1) mod world; channel }
+                        | Instr.Host { src; dst } ->
+                          Instr.Host { src; dst = (dst + 1) mod world }
+                      in
+                      Instr.Notify { target; amount; releases }
+                  | _ -> instr)
+                task.Program.instrs;
+          })
+        tasks)
+
+(* Raise the [nth] Wait threshold on [rank] by one: an off-by-one epoch
+   — the consumer demands a signal no producer will ever send. *)
+let bump_wait_threshold (program : Program.t) ~rank ~nth =
+  let seen = ref 0 in
+  map_rank_tasks program ~rank ~f:(fun tasks ->
+      List.map
+        (fun (task : Program.task) ->
+          {
+            task with
+            Program.instrs =
+              List.map
+                (fun instr ->
+                  match instr with
+                  | Instr.Wait { target; threshold; guards } ->
+                    let hit = !seen = nth in
+                    incr seen;
+                    if hit then
+                      Instr.Wait { target; threshold = threshold + 1; guards }
+                    else instr
+                  | _ -> instr)
+                task.Program.instrs;
+          })
+        tasks)
+
+(* Raise the [nth] Notify amount on [rank] by one: the key advances one
+   epoch further than the protocol registered waiters for. *)
+let bump_notify_amount (program : Program.t) ~rank ~nth =
+  let seen = ref 0 in
+  map_rank_tasks program ~rank ~f:(fun tasks ->
+      List.map
+        (fun (task : Program.task) ->
+          {
+            task with
+            Program.instrs =
+              List.map
+                (fun instr ->
+                  match instr with
+                  | Instr.Notify { target; amount; releases } ->
+                    let hit = !seen = nth in
+                    incr seen;
+                    if hit then
+                      Instr.Notify { target; amount = amount + 1; releases }
+                    else instr
+                  | _ -> instr)
+                task.Program.instrs;
+          })
+        tasks)
+
+let count_rank_instrs (program : Program.t) ~rank ~p =
   List.fold_left
     (fun acc role ->
       List.fold_left
         (fun acc (task : Program.task) ->
           List.fold_left
-            (fun acc instr ->
-              match instr with Instr.Notify _ -> acc + 1 | _ -> acc)
+            (fun acc instr -> if p instr then acc + 1 else acc)
             acc task.Program.instrs)
         acc role.Program.tasks)
     0
     (Program.plans program).(rank)
+
+let count_notifies (program : Program.t) ~rank =
+  count_rank_instrs program ~rank ~p:(function
+    | Instr.Notify _ -> true
+    | _ -> false)
+
+let count_waits (program : Program.t) ~rank =
+  count_rank_instrs program ~rank ~p:(function
+    | Instr.Wait _ -> true
+    | _ -> false)

@@ -33,4 +33,18 @@ val reorder_notifies : Program.t -> rank:int -> nth:int -> Program.t
     release a consumer before its tile was produced.  Raises
     [Invalid_argument] if fewer than [nth + 2] notifies exist. *)
 
+val swap_notify_rank : Program.t -> rank:int -> nth:int -> Program.t
+(** Retarget the [nth] Notify (0-based, task order) on [rank] to the
+    next rank's counter — a wrong f_R resolution: the intended consumer
+    never hears the signal, a bystander key is signalled for nothing. *)
+
+val bump_wait_threshold : Program.t -> rank:int -> nth:int -> Program.t
+(** Raise the [nth] Wait threshold on [rank] by one: an off-by-one
+    epoch no producer will ever satisfy. *)
+
+val bump_notify_amount : Program.t -> rank:int -> nth:int -> Program.t
+(** Raise the [nth] Notify amount on [rank] by one: the key advances
+    one epoch beyond what the protocol registered waiters for. *)
+
 val count_notifies : Program.t -> rank:int -> int
+val count_waits : Program.t -> rank:int -> int

@@ -51,6 +51,25 @@ let signal_target_to_string = function
     Printf.sprintf "peer(%d->%d,c%d)" src dst channel
   | Host { src; dst } -> Printf.sprintf "host(%d->%d)" src dst
 
+(* Canonical counter-key of a signal target — the exact name the
+   runtime channel table uses, so static diagnostics line up with
+   runtime deadlock/chaos output (and with [Chaos.parse_key]). *)
+let key_of_target = function
+  | Pc { rank; channel } -> Printf.sprintf "pc[%d][%d]" rank channel
+  | Peer { src; dst; channel } -> Printf.sprintf "peer[%d<-%d][%d]" dst src channel
+  | Host { src; dst } -> Printf.sprintf "host[%d<-%d]" dst src
+
+(* The rank a wait on this target observes from — the counter's owner
+   for [Pc], the producing side for [Peer]/[Host]. *)
+let producer_of_target = function
+  | Pc { rank; _ } -> rank
+  | Peer { src; _ } -> src
+  | Host { src; _ } -> src
+
+let channel_of_target = function
+  | Pc { channel; _ } | Peer { channel; _ } -> Some channel
+  | Host _ -> None
+
 type cost =
   | Gemm_tile of { tm : int; tn : int; k : int }
   | Attention_tile of { tq : int; tkv : int; d : int }

@@ -160,6 +160,18 @@ let split_channel t channel =
   let c = channels_per_rank t in
   (channel / c, channel mod c)
 
+(* (owning rank, local channel index) -> global channel: the inverse of
+   [split_channel], used when resolving a lowered [Pc] signal target —
+   which carries rank-local coordinates — back to the mapping's channel
+   space. *)
+let global_channel t ~rank ~local =
+  let c = channels_per_rank t in
+  if rank < 0 || rank >= ranks t then
+    invalid_arg "Mapping.global_channel: rank out of range";
+  if local < 0 || local >= c then
+    invalid_arg "Mapping.global_channel: local channel out of range";
+  (rank * c) + local
+
 (* Completion threshold of a channel: the number of producer tiles it
    guards. *)
 let expected t ~channel =

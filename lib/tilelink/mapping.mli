@@ -42,6 +42,11 @@ val shape_range : t -> tid:int -> int * int
 val rank_of : t -> tid:int -> int
 val channel_of : t -> tid:int -> int
 val split_channel : t -> int -> int * int
+
+val global_channel : t -> rank:int -> local:int -> int
+(** Inverse of [split_channel]: the global channel id of a rank-local
+    [Pc] signal target under this mapping. *)
+
 val expected : t -> channel:int -> int
 
 val src_shard_range : t -> tid:int -> int * int

@@ -81,3 +81,19 @@ let pipeline_program ~stages (p : Program.t) =
   Program.create ~name:(Program.name p) ~world_size:(Program.world_size p)
     ~pc_channels:p.Program.pc_channels ~peer_channels:p.Program.peer_channels
     (Array.map (List.map (pipeline_role ~stages)) (Program.plans p))
+
+(* The fence-ignoring pipeliner applied program-wide: the miscompile the
+   protocol analyzer's happens-before check must flag.  Kept next to
+   [pipeline_program] so the two stay structurally identical — only the
+   per-task hoist differs. *)
+let pipeline_program_unsafe ~stages (p : Program.t) =
+  let unsafe_task (task : Program.task) =
+    { task with Program.instrs = hoist_loads_unsafe ~stages task.Program.instrs }
+  in
+  let unsafe_role (role : Program.role) =
+    { role with Program.tasks = List.map unsafe_task role.Program.tasks }
+  in
+  Program.create ~name:(Program.name p ^ "+unsafe_hoist")
+    ~world_size:(Program.world_size p) ~pc_channels:p.Program.pc_channels
+    ~peer_channels:p.Program.peer_channels
+    (Array.map (List.map unsafe_role) (Program.plans p))

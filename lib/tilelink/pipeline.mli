@@ -12,3 +12,8 @@ val hoist_loads_unsafe : stages:int -> Instr.t list -> Instr.t list
 val pipeline_task : stages:int -> Program.task -> Program.task
 val pipeline_role : stages:int -> Program.role -> Program.role
 val pipeline_program : stages:int -> Program.t -> Program.t
+
+val pipeline_program_unsafe : stages:int -> Program.t -> Program.t
+(** [pipeline_program] with the fence-ignoring hoist: the
+    deliberately-broken whole-program miscompile used to exercise the
+    protocol analyzer's happens-before check. *)

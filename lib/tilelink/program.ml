@@ -53,6 +53,23 @@ let task_count t =
       acc + List.fold_left (fun a role -> a + List.length role.tasks) 0 plan)
     0 t.plans
 
+(* Every whole-program pass (validation, the protocol analyzer, fault
+   transforms) walks the same rank / role / task nesting; one iterator
+   keeps the traversal order — rank-major, roles then tasks in plan
+   order — consistent across them. *)
+let iter_tasks t ~f =
+  Array.iteri
+    (fun rank plan ->
+      List.iter
+        (fun role -> List.iter (fun task -> f ~rank role task) role.tasks)
+        plan)
+    t.plans
+
+let fold_tasks t ~init ~f =
+  let acc = ref init in
+  iter_tasks t ~f:(fun ~rank role task -> acc := f !acc ~rank role task);
+  !acc
+
 let instr_count t =
   Array.fold_left
     (fun acc plan ->
@@ -99,18 +116,10 @@ let validate t =
     | x :: rest -> ( match check_instr x with Ok () -> first_error rest | e -> e)
   in
   let result = ref (Ok ()) in
-  Array.iter
-    (fun plan ->
-      List.iter
-        (fun role ->
-          List.iter
-            (fun task ->
-              match !result with
-              | Error _ -> ()
-              | Ok () -> result := first_error task.instrs)
-            role.tasks)
-        plan)
-    t.plans;
+  iter_tasks t ~f:(fun ~rank:_ _role task ->
+      match !result with
+      | Error _ -> ()
+      | Ok () -> result := first_error task.instrs);
   !result
 
 let pp ppf t =

@@ -40,6 +40,13 @@ val role_count : t -> int
 val task_count : t -> int
 val instr_count : t -> int
 
+val iter_tasks : t -> f:(rank:int -> role -> task -> unit) -> unit
+(** Visit every task rank-major, roles then tasks in plan order — the
+    shared traversal of validation, the protocol analyzer and fault
+    transforms. *)
+
+val fold_tasks : t -> init:'a -> f:('a -> rank:int -> role -> task -> 'a) -> 'a
+
 val validate : t -> (unit, string) result
 (** Check every signal target against the channel layout. *)
 

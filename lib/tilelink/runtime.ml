@@ -300,11 +300,16 @@ let enrich_deadlock channels ~telemetry msg =
     if journal_lines = [] then []
     else "recent journal events:" :: journal_lines)
 
-let run ?telemetry ?(data = false) ?memory ?chaos cluster
+let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) cluster
     (program : Program.t) =
   (match Program.validate program with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Runtime.run: invalid program: " ^ msg));
+  (* Optional static pre-flight: a protocol that can never complete is
+     reported as a structured [Analyzer.Protocol_violation] here, with
+     key/rank/channel diagnostics, instead of wedging mid-simulation as
+     a generic [Engine.Deadlock]. *)
+  if analyze then Analyzer.check_exn program;
   if Cluster.world_size cluster <> Program.world_size program then
     invalid_arg "Runtime.run: cluster/program world size mismatch";
   let memory =

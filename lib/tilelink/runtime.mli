@@ -11,8 +11,13 @@ type result = {
 val run :
   ?telemetry:Tilelink_obs.Telemetry.t ->
   ?data:bool -> ?memory:Memory.t -> ?chaos:Chaos.control ->
+  ?analyze:bool ->
   Tilelink_machine.Cluster.t -> Program.t -> result
-(** Execute the program to completion.  With [~data:true], [Copy] and
+(** Execute the program to completion.  With [~analyze:true] (default
+    false), the static protocol analyzer pre-flights the program and a
+    would-be runtime deadlock raises {!Analyzer.Protocol_violation} —
+    with key/rank/channel diagnostics — before the simulation starts.
+    With [~data:true], [Copy] and
     [Compute] instructions also mutate [memory] (defaults to a fresh
     empty memory).  With [~telemetry], the run records per-primitive
     wait-latency histograms, tile/copy counters, journal events for

@@ -27,11 +27,12 @@ type 'a outcome = {
   skipped_build : int;
   skipped_invalid : int;
   skipped_deadlock : int;
+  skipped_race : int;
   cache_hits : int;
   cache_misses : int;
 }
 
-(* One candidate's fate, computed inside a pool task.  The three
+(* One candidate's fate, computed inside a pool task.  The four
    expected failure modes are folded into the variant here so they
    never cross a domain boundary as raw exceptions; anything else is a
    bug and propagates to the caller via [Pool.get]. *)
@@ -41,20 +42,32 @@ type 'a attempt =
   | Failed_build
   | Failed_invalid
   | Failed_deadlock
+  | Failed_race
 
-let attempt ~build ~evaluate (config, cached) =
+(* Static analysis runs right after build — before the cache lookup —
+   so a candidate with a broken protocol is rejected even when an old
+   cache entry would happily replay its simulated time. *)
+let attempt ?analyze ~build ~evaluate (config, cached) =
   match build config with
   | exception Invalid_argument _ -> Failed_build
   | candidate -> (
-    match cached with
-    | Some time -> From_cache { candidate; config; time }
-    | None -> (
-      match evaluate candidate with
-      | exception Invalid_argument _ -> Failed_invalid
-      | exception Tilelink_sim.Engine.Deadlock _ -> Failed_deadlock
-      | time -> Evaluated { candidate; config; time }))
+    let analysis =
+      match analyze with
+      | None -> Ok ()
+      | Some f -> (f candidate : (unit, string) result)
+    in
+    match analysis with
+    | Error _ -> Failed_race
+    | Ok () -> (
+      match cached with
+      | Some time -> From_cache { candidate; config; time }
+      | None -> (
+        match evaluate candidate with
+        | exception Invalid_argument _ -> Failed_invalid
+        | exception Tilelink_sim.Engine.Deadlock _ -> Failed_deadlock
+        | time -> Evaluated { candidate; config; time })))
 
-let search ?pool ?cache ?cache_key ~build ~evaluate configs =
+let search ?pool ?cache ?cache_key ?analyze ~build ~evaluate configs =
   let keyed =
     match (cache, cache_key) with
     | Some cache, Some key_of ->
@@ -72,7 +85,8 @@ let search ?pool ?cache ?cache_key ~build ~evaluate configs =
   in
   let attempts =
     Tilelink_exec.Pool.map pool
-      (fun (config, _key, cached) -> attempt ~build ~evaluate (config, cached))
+      (fun (config, _key, cached) ->
+        attempt ?analyze ~build ~evaluate (config, cached))
       keyed
     |> List.map Tilelink_exec.Pool.get
   in
@@ -101,6 +115,7 @@ let search ?pool ?cache ?cache_key ~build ~evaluate configs =
   let skipped_deadlock =
     count (function Failed_deadlock -> true | _ -> false)
   in
+  let skipped_race = count (function Failed_race -> true | _ -> false) in
   let cache_hits =
     count (function From_cache _ -> true | _ -> false)
   in
@@ -121,10 +136,12 @@ let search ?pool ?cache ?cache_key ~build ~evaluate configs =
       {
         best;
         evaluated;
-        skipped = skipped_build + skipped_invalid + skipped_deadlock;
+        skipped =
+          skipped_build + skipped_invalid + skipped_deadlock + skipped_race;
         skipped_build;
         skipped_invalid;
         skipped_deadlock;
+        skipped_race;
         cache_hits;
         cache_misses;
       }
@@ -133,8 +150,8 @@ let search ?pool ?cache ?cache_key ~build ~evaluate configs =
    cluster per candidate, built *inside* the evaluating task so every
    engine/channel/runtime structure stays confined to the domain that
    runs it — [make_cluster] is the enforced entry point. *)
-let search_programs ?pool ?cache ?(workload = "program") ~build ~make_cluster
-    configs =
+let search_programs ?pool ?cache ?(workload = "program") ?(analyze = true)
+    ~build ~make_cluster configs =
   let cache_key =
     match cache with
     | None -> None
@@ -153,7 +170,10 @@ let search_programs ?pool ?cache ?(workload = "program") ~build ~make_cluster
             (String.concat "|"
                [ workload; machine; Design_space.fingerprint config ]))
   in
-  search ?pool ?cache ?cache_key ~build
+  let analyze =
+    if analyze then Some Analyzer.check_message else None
+  in
+  search ?pool ?cache ?cache_key ?analyze ~build
     ~evaluate:(fun program ->
       let cluster = make_cluster () in
       (Runtime.run cluster program).Runtime.makespan)

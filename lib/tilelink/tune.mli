@@ -11,12 +11,15 @@ type 'a evaluation = {
 type 'a outcome = {
   best : 'a evaluation;
   evaluated : 'a evaluation list;  (** in candidate order, both paths *)
-  skipped : int;  (** total skips, [= build + invalid + deadlock] *)
+  skipped : int;
+      (** total skips, [= build + invalid + deadlock + race] *)
   skipped_build : int;
       (** [Invalid_argument] while building (bad tile/extent combos) *)
   skipped_invalid : int;  (** [Invalid_argument] while evaluating *)
   skipped_deadlock : int;
       (** {!Tilelink_sim.Engine.Deadlock} while evaluating *)
+  skipped_race : int;
+      (** rejected by the static protocol analysis before evaluation *)
   cache_hits : int;  (** candidates served from the cache *)
   cache_misses : int;  (** candidates that had to be evaluated *)
 }
@@ -25,6 +28,7 @@ val search :
   ?pool:Tilelink_exec.Pool.t ->
   ?cache:Tilelink_exec.Cache.t ->
   ?cache_key:(Design_space.config -> string) ->
+  ?analyze:('a -> (unit, string) result) ->
   build:(Design_space.config -> 'a) ->
   evaluate:('a -> float) ->
   Design_space.config list ->
@@ -34,12 +38,15 @@ val search :
     cluster per call).  The outcome is identical to the sequential
     path: [evaluated] is in candidate order and [best] is the earliest
     strict minimum.  Caching needs both [cache] and [cache_key]; only
-    successful evaluations are stored. *)
+    successful evaluations are stored.  [analyze] runs on each built
+    candidate {e before} the cache lookup: a failing candidate counts
+    as [skipped_race] and is neither evaluated nor served from cache. *)
 
 val search_programs :
   ?pool:Tilelink_exec.Pool.t ->
   ?cache:Tilelink_exec.Cache.t ->
   ?workload:string ->
+  ?analyze:bool ->
   build:(Design_space.config -> Program.t) ->
   make_cluster:(unit -> Tilelink_machine.Cluster.t) ->
   Design_space.config list ->
@@ -48,4 +55,7 @@ val search_programs :
     [make_cluster] inside each evaluating task (simulated clusters are
     single-shot and must stay domain-confined).  Cache keys fingerprint
     [workload] — which must therefore identify the kernel {e and}
-    shape — together with the machine spec, world size and config. *)
+    shape — together with the machine spec, world size and config.
+    [analyze] (default [true]) pre-flights every built program through
+    {!Analyzer.check_message}; statically-broken candidates count as
+    [skipped_race]. *)

@@ -1,0 +1,463 @@
+(* Tests for the whole-program protocol analyzer: static notify/wait
+   matching through the channel key space, cross-rank deadlock cycles,
+   happens-before data races, mapping cross-checks, the seeded mutation
+   corpus, and the Runtime/Tune wiring. *)
+
+open Tilelink_core
+open Tilelink_machine
+open Tilelink_workloads
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let task label instrs = { Program.label; instrs }
+
+let role ?(name = "sync") ?(lane = Tilelink_sim.Trace.Comm_sm) tasks =
+  {
+    Program.role_name = name;
+    resource = Program.Sm_partition 1;
+    lane;
+    tasks;
+  }
+
+let notify ?(amount = 1) target =
+  Instr.Notify { target; amount; releases = [] }
+
+let wait ?(guards = []) ~threshold target =
+  Instr.Wait { target; threshold; guards }
+
+let pc ~rank ~channel = Instr.Pc { rank; channel }
+let peer ~src ~dst = Instr.Peer { src; dst; channel = 0 }
+
+(* Two ranks, each waiting for the other's signal before sending its
+   own: a textbook circular wait that never makes progress. *)
+let deadlock_program () =
+  let plan rank =
+    let other = 1 - rank in
+    [
+      role ~name:"ring"
+        [
+          task "step"
+            [
+              wait ~threshold:1 (peer ~src:other ~dst:rank);
+              notify (peer ~src:rank ~dst:other);
+            ];
+        ];
+    ]
+  in
+  Program.create ~name:"deadlock" ~world_size:2 ~pc_channels:1
+    ~peer_channels:1
+    [| plan 0; plan 1 |]
+
+(* One rank: [notifies] signals of amount 1 against a single consumer
+   waiting for [threshold]. *)
+let counter_program ~notifies ~threshold =
+  let producer =
+    task "produce" (List.init notifies (fun _ -> notify (pc ~rank:0 ~channel:0)))
+  in
+  let consumer =
+    if threshold = 0 then []
+    else [ task "consume" [ wait ~threshold (pc ~rank:0 ~channel:0) ] ]
+  in
+  Program.create ~name:"counter" ~world_size:1 ~pc_channels:1
+    ~peer_channels:1
+    [| [ role ~name:"producer" [ producer ]; role ~name:"consumer" consumer ] |]
+
+let mlp_config ~world ~comm_tile ~stages =
+  {
+    Design_space.comm_tile = (comm_tile, 128);
+    compute_tile = (2, 2);
+    comm_order = Tile.Ring_from_self { segments = world };
+    compute_order = Tile.Ring_from_self { segments = world };
+    binding = Design_space.Comm_on_sm 1;
+    stages;
+  }
+
+let mlp_program ?transfer ~world ~comm_tile ~stages () =
+  Mlp.ag_gemm_program ?transfer
+    ~config:(mlp_config ~world ~comm_tile ~stages)
+    { Mlp.m = 8 * world; k = 4; n = 6; world_size = world }
+    ~spec_gpu:Calib.test_machine
+
+let find_kind report name =
+  List.filter (fun d -> Analyzer.kind_name d.Analyzer.kind = name)
+    report.Analyzer.diags
+
+let structured d = d.Analyzer.key <> "" && d.Analyzer.rank >= 0
+
+(* ------------------------------------------------------------------ *)
+(* Matching diagnostics                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_unmatched_wait () =
+  let report = Analyzer.analyze (counter_program ~notifies:1 ~threshold:3) in
+  Alcotest.(check bool) "not ok" false (Analyzer.ok report);
+  match find_kind report "unmatched_wait" with
+  | [ d ] ->
+    Alcotest.(check string) "key" "pc[0][0]" d.Analyzer.key;
+    Alcotest.(check int) "rank" 0 d.Analyzer.rank;
+    Alcotest.(check (option int)) "channel" (Some 0) d.Analyzer.channel;
+    (match d.Analyzer.kind with
+    | Analyzer.Unmatched_wait { threshold; available } ->
+      Alcotest.(check int) "threshold" 3 threshold;
+      Alcotest.(check int) "available" 1 available
+    | _ -> Alcotest.fail "wrong kind payload")
+  | ds -> Alcotest.failf "expected one unmatched_wait, got %d" (List.length ds)
+
+let test_unconsumed_notify_is_warning () =
+  let report = Analyzer.analyze (counter_program ~notifies:2 ~threshold:0) in
+  Alcotest.(check bool) "warnings do not fail the program" true
+    (Analyzer.ok report);
+  match find_kind report "unconsumed_notify" with
+  | [ d ] ->
+    Alcotest.(check string) "severity" "warning"
+      (Analyzer.severity_to_string d.Analyzer.severity);
+    Alcotest.(check string) "key" "pc[0][0]" d.Analyzer.key
+  | ds ->
+    Alcotest.failf "expected one unconsumed_notify, got %d" (List.length ds)
+
+let test_epoch_reuse () =
+  let report = Analyzer.analyze (counter_program ~notifies:2 ~threshold:1) in
+  Alcotest.(check bool) "not ok" false (Analyzer.ok report);
+  match find_kind report "epoch_reuse" with
+  | [ d ] -> (
+    match d.Analyzer.kind with
+    | Analyzer.Epoch_reuse { available; max_threshold; waiters } ->
+      Alcotest.(check int) "available" 2 available;
+      Alcotest.(check int) "max threshold" 1 max_threshold;
+      Alcotest.(check int) "waiters" 1 waiters
+    | _ -> Alcotest.fail "wrong kind payload")
+  | ds -> Alcotest.failf "expected one epoch_reuse, got %d" (List.length ds)
+
+let test_clean_counter_ok () =
+  let report = Analyzer.analyze (counter_program ~notifies:1 ~threshold:1) in
+  Alcotest.(check bool) "ok" true (Analyzer.ok report);
+  Alcotest.(check int) "no diags" 0 (List.length report.Analyzer.diags)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock cycles                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadlock_cycle () =
+  let report = Analyzer.analyze (deadlock_program ()) in
+  Alcotest.(check bool) "not ok" false (Analyzer.ok report);
+  match find_kind report "deadlock_cycle" with
+  | [] -> Alcotest.fail "no deadlock_cycle diagnostic"
+  | d :: _ -> (
+    Alcotest.(check bool) "structured" true (structured d);
+    match d.Analyzer.kind with
+    | Analyzer.Deadlock_cycle { cycle } ->
+      Alcotest.(check int) "two edges" 2 (List.length cycle);
+      let ranks =
+        List.sort_uniq compare
+          (List.map (fun e -> e.Analyzer.e_rank) cycle)
+      in
+      Alcotest.(check (list int)) "both ranks in the cycle" [ 0; 1 ] ranks;
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) "edge has a key" true
+            (e.Analyzer.e_key <> "");
+          Alcotest.(check bool) "edge names its producer" true
+            (e.Analyzer.e_producer_rank = 1 - e.Analyzer.e_rank))
+        cycle
+    | _ -> Alcotest.fail "wrong kind payload")
+
+(* ------------------------------------------------------------------ *)
+(* Data races                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_read_before_acquire_race () =
+  let a = Instr.access ~buffer:"buf" ~row:(0, 2) ~col:(0, 2) () in
+  let program =
+    Program.create ~name:"race" ~world_size:1 ~pc_channels:1
+      ~peer_channels:1
+      [|
+        [
+          role ~name:"producer" [ task "p" [ notify (pc ~rank:0 ~channel:0) ] ];
+          role ~name:"consumer"
+            [
+              task "c"
+                [
+                  Instr.Load { access = a };
+                  wait ~guards:[ a ] ~threshold:1 (pc ~rank:0 ~channel:0);
+                ];
+            ];
+        ];
+      |]
+  in
+  let report = Analyzer.analyze program in
+  Alcotest.(check bool) "not ok" false (Analyzer.ok report);
+  match find_kind report "data_race" with
+  | [ d ] -> (
+    Alcotest.(check string) "key" "pc[0][0]" d.Analyzer.key;
+    match d.Analyzer.kind with
+    | Analyzer.Data_race { race = Consistency.Read_before_acquire; _ } -> ()
+    | _ -> Alcotest.fail "expected a read-before-acquire race")
+  | ds -> Alcotest.failf "expected one data_race, got %d" (List.length ds)
+
+(* ------------------------------------------------------------------ *)
+(* Clean workloads and the mutation corpus                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_clean_workload_passes () =
+  List.iter
+    (fun transfer ->
+      let program = mlp_program ~transfer ~world:2 ~comm_tile:2 ~stages:2 () in
+      let report = Analyzer.analyze program in
+      Alcotest.(check bool) "no errors" true (Analyzer.ok report);
+      Alcotest.(check bool) "counts populated" true
+        (report.Analyzer.keys > 0
+        && report.Analyzer.notifies > 0
+        && report.Analyzer.waits > 0))
+    [ `Pull; `Push ]
+
+let all_mutations =
+  [
+    "dropped_notify";
+    "notify_epoch_off_by_one";
+    "swapped_rank";
+    "unsafe_hoist";
+    "wait_epoch_off_by_one";
+  ]
+
+let test_mutation_corpus_all_flagged () =
+  let program = mlp_program ~world:2 ~comm_tile:2 ~stages:2 () in
+  let corpus = Analyzer.mutation_corpus ~seed:17 program in
+  Alcotest.(check (list string))
+    "every mutation applies to the MLP kernel" all_mutations
+    (List.sort compare (List.map fst corpus));
+  List.iter
+    (fun (name, mutant) ->
+      match Analyzer.errors (Analyzer.analyze mutant) with
+      | [] -> Alcotest.failf "mutation %s not flagged" name
+      | errors ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s diagnostics are structured" name)
+          true
+          (List.for_all structured errors))
+    corpus
+
+let test_mutation_corpus_seeded () =
+  let program = mlp_program ~world:2 ~comm_tile:2 ~stages:2 () in
+  let render corpus =
+    List.map
+      (fun (name, mutant) -> (name, (mutant : Program.t).Program.name))
+      corpus
+  in
+  Alcotest.(check (list (pair string string)))
+    "same seed, same corpus"
+    (render (Analyzer.mutation_corpus ~seed:5 program))
+    (render (Analyzer.mutation_corpus ~seed:5 program))
+
+(* ------------------------------------------------------------------ *)
+(* Mapping cross-check                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mapping_program ~mapping ~extra_threshold =
+  let world = Mapping.ranks mapping in
+  let plan rank =
+    let expected =
+      Mapping.expected mapping
+        ~channel:(Mapping.global_channel mapping ~rank ~local:0)
+    in
+    [
+      role ~name:"producer"
+        [
+          task "p"
+            (List.init expected (fun _ -> notify (pc ~rank ~channel:0)));
+        ];
+      role ~name:"consumer"
+        [
+          task "c"
+            [ wait ~threshold:(expected + extra_threshold) (pc ~rank ~channel:0) ];
+        ];
+    ]
+  in
+  Program.create ~name:"mapped" ~world_size:world
+    ~pc_channels:(Mapping.channels_per_rank mapping)
+    ~peer_channels:1
+    (Array.init world plan)
+
+let test_check_against_mapping () =
+  let mapping = Mapping.static ~extent:8 ~ranks:2 ~channels_per_rank:2 ~tile:2 () in
+  Alcotest.(check int) "clean protocol has no mismatches" 0
+    (List.length
+       (Analyzer.check_against_mapping
+          (mapping_program ~mapping ~extra_threshold:0)
+          ~mapping));
+  match
+    Analyzer.check_against_mapping
+      (mapping_program ~mapping ~extra_threshold:1)
+      ~mapping
+  with
+  | [] -> Alcotest.fail "over-threshold wait not flagged"
+  | d :: _ -> (
+    match d.Analyzer.kind with
+    | Analyzer.Mapping_mismatch { expected; actual } ->
+      Alcotest.(check int) "actual exceeds expected by one" (expected + 1)
+        actual
+    | _ -> Alcotest.fail "wrong kind payload")
+
+let test_check_against_mapping_layout_guard () =
+  let mapping = Mapping.static ~extent:8 ~ranks:4 ~channels_per_rank:1 ~tile:2 () in
+  Alcotest.check_raises "rank mismatch rejected"
+    (Invalid_argument
+       "Analyzer.check_against_mapping: mapping layout does not match program")
+    (fun () ->
+      ignore
+        (Analyzer.check_against_mapping
+           (counter_program ~notifies:1 ~threshold:1)
+           ~mapping))
+
+(* ------------------------------------------------------------------ *)
+(* Wiring: Runtime pre-flight and Tune skip accounting                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_runtime_preflight_rejects () =
+  let cluster = Cluster.create Calib.test_machine ~world_size:2 in
+  Alcotest.(check bool) "Protocol_violation before simulation" true
+    (try
+       ignore (Runtime.run ~analyze:true cluster (deadlock_program ()));
+       false
+     with Analyzer.Protocol_violation (_ :: _) -> true)
+
+let test_runtime_preflight_accepts_clean () =
+  let cluster = Cluster.create Calib.test_machine ~world_size:2 in
+  let program = mlp_program ~world:2 ~comm_tile:2 ~stages:2 () in
+  let result = Runtime.run ~analyze:true cluster program in
+  Alcotest.(check bool) "clean program still runs" true
+    (result.Runtime.makespan > 0.0)
+
+let test_tune_counts_skipped_race () =
+  let configs =
+    List.map
+      (fun stages -> mlp_config ~world:2 ~comm_tile:2 ~stages)
+      [ 1; 2 ]
+  in
+  let outcome =
+    Tune.search_programs
+      ~build:(fun c ->
+        if c.Design_space.stages = 2 then deadlock_program ()
+        else mlp_program ~world:2 ~comm_tile:2 ~stages:1 ())
+      ~make_cluster:(fun () ->
+        Cluster.create Calib.test_machine ~world_size:2)
+      configs
+  in
+  match outcome with
+  | None -> Alcotest.fail "no outcome"
+  | Some o ->
+    Alcotest.(check int) "one candidate rejected statically" 1
+      o.Tune.skipped_race;
+    Alcotest.(check int) "skip total includes races" 1 o.Tune.skipped;
+    Alcotest.(check int) "the clean candidate evaluated" 1
+      (List.length o.Tune.evaluated)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_json_parses () =
+  let report = Analyzer.analyze (deadlock_program ()) in
+  let rendered =
+    Tilelink_obs.Json.to_string ~indent:true (Analyzer.report_to_json report)
+  in
+  match Tilelink_obs.Json.parse rendered with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "report JSON not parseable: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Table-2-style AG+GEMM points: the safe pipeliner's output must pass
+   both the per-task consistency verifier and the whole-program
+   analyzer; whenever the fence-ignoring pipeliner actually breaks the
+   stream, the analyzer must flag the program. *)
+let prop_pipeline_vs_analyzer =
+  QCheck.Test.make
+    ~name:"safe pipelining passes the analyzer; unsafe hoists are flagged"
+    ~count:24
+    QCheck.(
+      quad (int_range 1 4) (oneofl [ 2; 4 ]) (oneofl [ 2; 4 ])
+        (oneofl [ `Pull; `Push ]))
+    (fun (stages, world, comm_tile, transfer) ->
+      let program = mlp_program ~transfer ~world ~comm_tile ~stages () in
+      let safe = Pipeline.pipeline_program ~stages program in
+      let safe_ok =
+        Consistency.verify_program safe = Ok ()
+        && Analyzer.ok (Analyzer.analyze safe)
+      in
+      let unsafe = Pipeline.pipeline_program_unsafe ~stages program in
+      let unsafe_caught =
+        match Consistency.verify_program unsafe with
+        | Ok () -> true (* the hoist happened to stay behind every fence *)
+        | Error _ -> Analyzer.errors (Analyzer.analyze unsafe) <> []
+      in
+      safe_ok && unsafe_caught)
+
+(* The four-stage unsafe hoist on the 2-rank MLP kernel is the
+   documented miscompile: it must never slip through. *)
+let test_unsafe_hoist_always_flagged () =
+  let program = mlp_program ~world:2 ~comm_tile:2 ~stages:1 () in
+  let unsafe = Pipeline.pipeline_program_unsafe ~stages:4 program in
+  (match Consistency.verify_program unsafe with
+  | Ok () -> Alcotest.fail "unsafe hoist did not break the stream"
+  | Error _ -> ());
+  match Analyzer.errors (Analyzer.analyze unsafe) with
+  | [] -> Alcotest.fail "analyzer missed the unsafe hoist"
+  | errors ->
+    Alcotest.(check bool) "flagged as a data race" true
+      (List.exists
+         (fun d -> Analyzer.kind_name d.Analyzer.kind = "data_race")
+         errors)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "analyzer"
+    [
+      ( "matching",
+        [
+          Alcotest.test_case "unmatched wait" `Quick test_unmatched_wait;
+          Alcotest.test_case "unconsumed notify warns" `Quick
+            test_unconsumed_notify_is_warning;
+          Alcotest.test_case "epoch reuse" `Quick test_epoch_reuse;
+          Alcotest.test_case "clean counter ok" `Quick test_clean_counter_ok;
+        ] );
+      ( "deadlock",
+        [ Alcotest.test_case "cross-rank cycle" `Quick test_deadlock_cycle ] );
+      ( "races",
+        [
+          Alcotest.test_case "read before acquire" `Quick
+            test_read_before_acquire_race;
+          Alcotest.test_case "unsafe hoist flagged" `Quick
+            test_unsafe_hoist_always_flagged;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "clean MLP passes" `Quick
+            test_clean_workload_passes;
+          Alcotest.test_case "mutation corpus flagged" `Quick
+            test_mutation_corpus_all_flagged;
+          Alcotest.test_case "mutation corpus seeded" `Quick
+            test_mutation_corpus_seeded;
+        ] );
+      ( "mapping",
+        [
+          Alcotest.test_case "cross-check" `Quick test_check_against_mapping;
+          Alcotest.test_case "layout guard" `Quick
+            test_check_against_mapping_layout_guard;
+        ] );
+      ( "wiring",
+        [
+          Alcotest.test_case "runtime pre-flight rejects" `Quick
+            test_runtime_preflight_rejects;
+          Alcotest.test_case "runtime pre-flight accepts clean" `Quick
+            test_runtime_preflight_accepts_clean;
+          Alcotest.test_case "tune counts skipped_race" `Quick
+            test_tune_counts_skipped_race;
+          Alcotest.test_case "report json parses" `Quick
+            test_report_json_parses;
+        ] );
+      ("properties", [ qc prop_pipeline_vs_analyzer ]);
+    ]

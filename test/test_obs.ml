@@ -237,6 +237,45 @@ let test_journal_order_and_wrap () =
   Alcotest.(check (list int)) "oldest-first, newest kept" [ 3; 4; 5; 6 ]
     values
 
+(* Regression: with exactly [capacity] entries recorded, the write
+   cursor sits at [next = capacity] without having wrapped — [entries]
+   used to hit the one empty-looking slot arrangement and die on
+   [assert false]. *)
+let test_journal_exact_capacity_boundary () =
+  let j = Journal.create ~capacity:4 () in
+  for i = 1 to 4 do
+    Journal.record j ~t:(float_of_int i) (signal i)
+  done;
+  Alcotest.(check int) "full, nothing dropped" 4 (Journal.length j);
+  Alcotest.(check int) "no drops at the boundary" 0 (Journal.dropped j);
+  let values =
+    List.map
+      (fun (e : Journal.entry) ->
+        match e.Journal.event with
+        | Journal.Signal_set { value; _ } -> value
+        | _ -> -1)
+      (Journal.entries j)
+  in
+  Alcotest.(check (list int)) "oldest first at the boundary" [ 1; 2; 3; 4 ]
+    values
+
+let test_journal_one_past_capacity () =
+  let j = Journal.create ~capacity:4 () in
+  for i = 1 to 5 do
+    Journal.record j ~t:(float_of_int i) (signal i)
+  done;
+  Alcotest.(check int) "still full" 4 (Journal.length j);
+  Alcotest.(check int) "oldest dropped" 1 (Journal.dropped j);
+  let values =
+    List.map
+      (fun (e : Journal.entry) ->
+        match e.Journal.event with
+        | Journal.Signal_set { value; _ } -> value
+        | _ -> -1)
+      (Journal.entries j)
+  in
+  Alcotest.(check (list int)) "window slid by one" [ 2; 3; 4; 5 ] values
+
 let test_journal_disabled () =
   let j = Journal.create ~enabled:false () in
   Journal.record j ~t:1.0 (signal 1);
@@ -470,6 +509,10 @@ let () =
         [
           Alcotest.test_case "order and wrap" `Quick
             test_journal_order_and_wrap;
+          Alcotest.test_case "exact capacity boundary" `Quick
+            test_journal_exact_capacity_boundary;
+          Alcotest.test_case "one past capacity" `Quick
+            test_journal_one_past_capacity;
           Alcotest.test_case "disabled" `Quick test_journal_disabled;
           Alcotest.test_case "event names" `Quick test_journal_event_names;
           Alcotest.test_case "json parses" `Quick test_journal_json_parses;

@@ -595,6 +595,27 @@ let test_stats_percentile () =
        false
      with Invalid_argument _ -> true)
 
+(* Regression: NaN samples used to flow straight through the
+   [min]/[max] folds and poison every comparison-based aggregate into
+   NaN; they must be rejected loudly instead. *)
+let test_stats_nan_rejected () =
+  let rejects name f =
+    Alcotest.(check bool) name true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  let poisoned = [ 1.0; Float.nan; 3.0 ] in
+  rejects "minimum" (fun () -> Stats.minimum poisoned);
+  rejects "maximum" (fun () -> Stats.maximum poisoned);
+  rejects "percentile" (fun () -> Stats.percentile 50.0 poisoned);
+  rejects "all-NaN percentile" (fun () ->
+      Stats.percentile 50.0 [ Float.nan ]);
+  (* Infinities are orderable and must still pass. *)
+  check_float "infinity is a valid sample" 1.0
+    (Stats.minimum [ Float.infinity; 1.0 ])
+
 let prop_percentile_bounded =
   QCheck.Test.make ~name:"percentile stays within [min, max]" ~count:200
     QCheck.(
@@ -709,6 +730,7 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_stats_basic;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "NaN rejected" `Quick test_stats_nan_rejected;
           qc prop_geomean_le_mean;
           qc prop_percentile_bounded;
         ] );
