@@ -882,11 +882,62 @@ let bench_json_smoke () =
     };
   ]
 
+(* Crash-failover suite: one row per workload, each a short seeded
+   sweep with one forced rank crash per trial.  The schema-checked
+   fields keep their usual meaning (makespan = mean chaos-run total,
+   overlap = mean achieved overlap vs the fault-free ideal); the
+   failover-specific outcome rides along as extra fields. *)
+let bench_json_chaos () =
+  let module Harness = Tilelink_chaos.Harness in
+  let trials = 2 and seed = 42 and crash_ranks = 1 in
+  List.map
+    (fun workload ->
+      let wl = Harness.workload_to_string workload in
+      {
+        descr =
+          Printf.sprintf "bench-v1|chaos|%s|crash=%d,trials=%d,seed=%d|%s" wl
+            crash_ranks trials seed machine_id;
+        compute =
+          (fun () ->
+            let s =
+              Harness.run_trials ~crash_ranks ~workload ~seed ~trials ()
+            in
+            let mean f =
+              Tilelink_sim.Stats.mean
+                (List.map f s.Harness.s_trials)
+            in
+            let fo = List.sort compare s.Harness.s_failover_latencies in
+            Obs.Json.Obj
+              [
+                ("config", Obs.Json.Str wl);
+                ("kernel", Obs.Json.Str "chaos");
+                ("makespan_us", Obs.Json.Num (mean (fun t -> t.Harness.total_us)));
+                ( "overlap_ratio",
+                  Obs.Json.Num
+                    (Float.min 1.0
+                       (Float.max 0.0
+                          (mean (fun t -> t.Harness.achieved_overlap)))) );
+                ( "failed_over",
+                  Obs.Json.Num (float_of_int s.Harness.s_failed_over) );
+                ( "recovery_p99_us",
+                  if fo = [] then Obs.Json.Null
+                  else Obs.Json.Num (Tilelink_sim.Stats.percentile 99.0 fo) );
+                ( "replayed_tiles",
+                  Obs.Json.Num
+                    (float_of_int
+                       (List.fold_left
+                          (fun acc t -> acc + t.Harness.replayed_tiles)
+                          0 s.Harness.s_trials)) );
+              ]);
+      })
+    [ Harness.Mlp_ag_gemm; Harness.Moe_part2; Harness.Attention_ag ]
+
 let json_suites =
   [
     ("mlp", bench_json_mlp);
     ("moe", bench_json_moe);
     ("smoke", bench_json_smoke);
+    ("chaos", bench_json_chaos);
   ]
 
 (* --check: re-parse a freshly written artifact and verify the schema

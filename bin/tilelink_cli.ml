@@ -911,24 +911,35 @@ let profile_cmd =
 
 module Harness = Tilelink_chaos.Harness
 
-let chaos_run seed trials workload jobs no_retry policy out perfetto_path
-    check =
+let chaos_run seed trials workload jobs no_retry policy crash_ranks out
+    perfetto_path check =
   let retry = not no_retry in
+  (* Crashes are only recoverable under Failover; upgrade the default
+     policy so `--crash-ranks 1` alone does the expected thing. *)
+  let policy =
+    if crash_ranks > 0 && policy = Tilelink_core.Chaos.Degrade then
+      Tilelink_core.Chaos.Failover
+    else policy
+  in
   let pool =
     if jobs > 1 then
       Some (Tilelink_exec.Pool.create ~domains:jobs ())
     else None
   in
   let run () =
-    Harness.run_trials ?pool ~retry ~policy ~workload ~seed ~trials ()
+    Harness.run_trials ?pool ~retry ~policy ~crash_ranks ~workload ~seed
+      ~trials ()
   in
   let summary = run () in
   let json = Harness.summary_to_string summary in
   Printf.printf
-    "chaos %s seed %d: %d trials — %d clean, %d recovered, %d degraded, %d \
+    "chaos %s seed %d: %d trials — %d clean, %d recovered, %s%d degraded, %d \
      stalled\n"
     (Harness.workload_to_string workload)
     seed trials summary.Harness.s_clean summary.Harness.s_recovered
+    (if crash_ranks > 0 || summary.Harness.s_failed_over > 0 then
+       Printf.sprintf "%d failed over, " summary.Harness.s_failed_over
+     else "")
     summary.Harness.s_degraded summary.Harness.s_stalled;
   let latencies = List.sort compare summary.Harness.s_recovery_latencies in
   (if latencies <> [] then
@@ -936,6 +947,12 @@ let chaos_run seed trials workload jobs no_retry policy out perfetto_path
      Printf.printf
        "recovery latency: %d signals, p50 %.1f us, p95 %.1f us, p99 %.1f us\n"
        (List.length latencies) (pct 50.0) (pct 95.0) (pct 99.0));
+  let fo_latencies = List.sort compare summary.Harness.s_failover_latencies in
+  (if fo_latencies <> [] then
+     let pct p = Tilelink_sim.Stats.percentile p fo_latencies in
+     Printf.printf
+       "failover latency: %d crashes, p50 %.1f us, p95 %.1f us, p99 %.1f us\n"
+       (List.length fo_latencies) (pct 50.0) (pct 95.0) (pct 99.0));
   List.iter
     (fun t ->
       Printf.printf "  trial %d: %-9s overlap %.2f ideal %.1f us total %.1f \
@@ -948,7 +965,15 @@ let chaos_run seed trials workload jobs no_retry policy out perfetto_path
         | Some s ->
           Printf.sprintf " (stalled on %s, producer rank %d)" s.Harness.si_key
             s.Harness.si_owner
-        | None -> ""))
+        | None ->
+          if t.Harness.failed_over_ranks = [] then ""
+          else
+            Printf.sprintf " (ranks %s crashed; replayed %d/%d tiles)"
+              (String.concat ","
+                 (List.map
+                    (fun (r, _) -> string_of_int r)
+                    t.Harness.failed_over_ranks))
+              t.Harness.replayed_tiles t.Harness.total_tiles))
     summary.Harness.s_trials;
   let bad =
     List.filter
@@ -970,7 +995,8 @@ let chaos_run seed trials workload jobs no_retry policy out perfetto_path
   (match perfetto_path with
   | Some path ->
     let _trial, trace, telemetry =
-      Harness.profile_trial ~retry ~policy ~workload ~seed ~index:0 ()
+      Harness.profile_trial ~retry ~policy ~crash_ranks ~workload ~seed
+        ~index:0 ()
     in
     write_file path
       (Obs.Perfetto.export_string ~trace
@@ -1030,10 +1056,19 @@ let chaos_cmd =
       & opt
           (enum
              [ ("degrade", Tilelink_core.Chaos.Degrade);
-               ("failstop", Tilelink_core.Chaos.Fail_stop) ])
+               ("failstop", Tilelink_core.Chaos.Fail_stop);
+               ("failover", Tilelink_core.Chaos.Failover) ])
           Tilelink_core.Chaos.Degrade
-      & info [ "policy" ] ~docv:"degrade|failstop"
-          ~doc:"What the watchdog does once retries are exhausted.")
+      & info [ "policy" ] ~docv:"degrade|failstop|failover"
+          ~doc:"What the watchdog does once retries are exhausted; failover \
+                additionally remaps crashed ranks onto the survivors.")
+  in
+  let crash_ranks_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "crash-ranks" ] ~docv:"N"
+          ~doc:"Force N seeded permanent rank crashes per trial; implies the \
+                failover policy unless one is given explicitly.")
   in
   let out_arg =
     Arg.(
@@ -1061,10 +1096,11 @@ let chaos_cmd =
        ~doc:
          "Run seeded fault-injection trials through a workload, validate \
           numerics against fault-free runs, and classify each trial as \
-          clean, recovered, degraded, or stalled.")
+          clean, recovered, failed over, degraded, or stalled.")
     Term.(
       const chaos_run $ seed_arg $ trials_arg $ workload_arg $ jobs_arg
-      $ no_retry_arg $ policy_arg $ out_arg $ perfetto_arg $ check_arg)
+      $ no_retry_arg $ policy_arg $ crash_ranks_arg $ out_arg $ perfetto_arg
+      $ check_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)

@@ -6,12 +6,16 @@
    makespan, and data validation at the end.  The trial is classified
    from what the watchdog had to do:
 
-     Clean      nothing injected needed recovery
-     Recovered  the watchdog re-issued at least one lost signal
-     Degraded   at least one wait was force-released; the affected tile
-                range is re-executed on the non-overlapped baseline path
-                and its analytic cost charged on top of the makespan
-     Stalled    the watchdog raised a structured Stall (Fail_stop)
+     Clean       nothing injected needed recovery
+     Recovered   the watchdog re-issued at least one lost signal
+     Failed_over a rank crashed and the failover coordinator remapped
+                 its unfinished tiles onto the survivors and replayed
+                 them; numerics must still be bit-identical
+     Degraded    at least one wait was force-released; the affected tile
+                 range is re-executed on the non-overlapped baseline path
+                 and its analytic cost charged on top of the makespan
+     Stalled     the watchdog raised a structured Stall (Fail_stop), or
+                 a crash left no survivors
 
    Everything — fault draws, retry coin flips, trial sub-seeds — hangs
    off one integer seed through simulation-time-only PRNGs, so the
@@ -44,11 +48,12 @@ let workload_of_string = function
   | "attention" -> Some Attention_ag
   | _ -> None
 
-type classification = Clean | Recovered | Degraded | Stalled
+type classification = Clean | Recovered | Failed_over | Degraded | Stalled
 
 let classification_to_string = function
   | Clean -> "clean"
   | Recovered -> "recovered"
+  | Failed_over -> "failed_over"
   | Degraded -> "degraded"
   | Stalled -> "stalled"
 
@@ -76,6 +81,13 @@ type trial = {
   degraded_keys : string list;
   faults : (string * string) list;
   stall : stall_info option;
+  (* Failover bookkeeping; all zero/empty on crash-free trials, and the
+     JSON export omits the fields entirely then so pre-crash summaries
+     stay byte-identical. *)
+  failed_over_ranks : (int * float) list;  (* (rank, latency µs) *)
+  remapped_tiles : int;
+  replayed_tiles : int;
+  total_tiles : int;
 }
 
 type summary = {
@@ -84,9 +96,11 @@ type summary = {
   s_trials : trial list;
   s_clean : int;
   s_recovered : int;
+  s_failed_over : int;
   s_degraded : int;
   s_stalled : int;
   s_recovery_latencies : float list;
+  s_failover_latencies : float list;
 }
 
 (* One benchmark case: how to build/allocate/validate the workload,
@@ -248,10 +262,32 @@ let stall_info_of case (s : Chaos.stall) =
   }
 
 let run_trial_impl ?(spec = Chaos.default_spec) ?(retry = true)
-    ?(policy = Chaos.Degrade) ?watchdog ?(trace = false) ~workload ~seed
-    ~index () =
+    ?(policy = Chaos.Degrade) ?(crash_ranks = 0) ?watchdog ?(trace = false)
+    ~workload ~seed ~index () =
   let case = case_of workload in
   let trial_seed = Chaos.derive_seed ~seed ~index in
+  (* Crash trials promise bit-identical numerics after replay, so the
+     signal faults whose recovery path is a degraded (stale-read)
+     fallback are zeroed; machine-level timing faults stay on.  The
+     spec is untouched when no crashes are requested, preserving
+     byte-identical crash-free schedules. *)
+  let spec =
+    if crash_ranks = 0 then spec
+    else
+      {
+        spec with
+        Chaos.drop_prob = 0.0;
+        duplicate_prob = 0.0;
+        delay_prob = 0.0;
+        reissue_drop_prob = 0.0;
+      }
+  in
+  (* Crashes are only recoverable under Failover; upgrade the default
+     policy rather than making every caller remember to. *)
+  let policy =
+    if crash_ranks > 0 && policy = Chaos.Degrade then Chaos.Failover
+    else policy
+  in
   (* Fault-free run: ideal makespan, and proof the memory checker
      passes without faults. *)
   let ideal =
@@ -268,7 +304,7 @@ let run_trial_impl ?(spec = Chaos.default_spec) ?(retry = true)
   let sched =
     Chaos.plan ~spec ~seed:trial_seed ~world_size:case.world
       ~horizon_us:(Float.max 1.0 (ideal *. 1.5))
-      ()
+      ~crash_ranks ()
   in
   let control = Chaos.control ~schedule:sched ~watchdog:wd () in
   let telemetry = Obs.Telemetry.create () in
@@ -294,12 +330,23 @@ let run_trial_impl ?(spec = Chaos.default_spec) ?(retry = true)
       degraded_keys = recov.Chaos.degraded;
       faults = Chaos.injected sched;
       stall;
+      failed_over_ranks = recov.Chaos.failed_over;
+      remapped_tiles = recov.Chaos.remapped_tiles;
+      replayed_tiles = recov.Chaos.replayed_tiles;
+      total_tiles = recov.Chaos.total_tiles;
     }
   in
   let trial =
     match
-      Runtime.run ~telemetry ~data:true ~memory ~chaos:control cluster
-        (case.build ())
+      (* Teardown hardening: a Stall (or any other early exit) must not
+         leave the chaos disturbance installed on the cluster — later
+         users of the same cluster would inherit poisoned link rates
+         and straggler windows. *)
+      Fun.protect
+        ~finally:(fun () -> Cluster.clear_disturbance cluster)
+        (fun () ->
+          Runtime.run ~telemetry ~data:true ~memory ~chaos:control cluster
+            ~rebuild:case.build (case.build ()))
     with
     | result ->
       let recov = control.Chaos.c_recovery in
@@ -320,6 +367,12 @@ let run_trial_impl ?(spec = Chaos.default_spec) ?(retry = true)
         finish ~classification:Degraded ~makespan:result.Runtime.makespan
           ~fallback ~numerics_ok:(case.check memory2) ~stall:None
       end
+      else if recov.Chaos.failed_over <> [] then
+        (* Replay already re-executed the lost tiles on the survivors,
+           so numerics are checked on the same memory and no fallback
+           cost is charged beyond what the makespan absorbed. *)
+        finish ~classification:Failed_over ~makespan:result.Runtime.makespan
+          ~fallback:0.0 ~numerics_ok:(case.check memory) ~stall:None
       else
         let classification =
           if recov.Chaos.recovered <> [] || recov.Chaos.retries > 0 then
@@ -337,16 +390,19 @@ let run_trial_impl ?(spec = Chaos.default_spec) ?(retry = true)
   in
   (trial, Cluster.trace cluster, telemetry)
 
-let run_trial ?spec ?retry ?policy ?watchdog ~workload ~seed ~index () =
+let run_trial ?spec ?retry ?policy ?crash_ranks ?watchdog ~workload ~seed
+    ~index () =
   let trial, _, _ =
-    run_trial_impl ?spec ?retry ?policy ?watchdog ~workload ~seed ~index ()
+    run_trial_impl ?spec ?retry ?policy ?crash_ranks ?watchdog ~workload ~seed
+      ~index ()
   in
   trial
 
-let profile_trial ?spec ?retry ?policy ?watchdog ~workload ~seed ~index () =
+let profile_trial ?spec ?retry ?policy ?crash_ranks ?watchdog ~workload ~seed
+    ~index () =
   let trial, trace, telemetry =
-    run_trial_impl ?spec ?retry ?policy ?watchdog ~trace:true ~workload ~seed
-      ~index ()
+    run_trial_impl ?spec ?retry ?policy ?crash_ranks ?watchdog ~trace:true
+      ~workload ~seed ~index ()
   in
   (trial, trace, telemetry)
 
@@ -360,22 +416,28 @@ let summarize ~workload ~seed trials =
     s_trials = trials;
     s_clean = count Clean;
     s_recovered = count Recovered;
+    s_failed_over = count Failed_over;
     s_degraded = count Degraded;
     s_stalled = count Stalled;
     s_recovery_latencies =
       List.concat_map
         (fun t -> List.map snd t.recovered_signals)
         trials;
+    s_failover_latencies =
+      List.concat_map
+        (fun t -> List.map snd t.failed_over_ranks)
+        trials;
   }
 
-let run_trials ?pool ?spec ?retry ?policy ?watchdog ~workload ~seed ~trials ()
-    =
+let run_trials ?pool ?spec ?retry ?policy ?crash_ranks ?watchdog ~workload
+    ~seed ~trials () =
   if trials <= 0 then invalid_arg "Harness.run_trials: trials must be > 0";
   let indices = List.init trials Fun.id in
   let results =
     Pool.map pool
       (fun index ->
-        run_trial ?spec ?retry ?policy ?watchdog ~workload ~seed ~index ())
+        run_trial ?spec ?retry ?policy ?crash_ranks ?watchdog ~workload ~seed
+          ~index ())
       indices
   in
   summarize ~workload ~seed (List.map Pool.get results)
@@ -411,7 +473,7 @@ let trial_to_json t =
         | None -> [])
   in
   Json.Obj
-    [
+    ([
       ("index", Json.Num (float_of_int t.index));
       ("seed", Json.Num (float_of_int t.trial_seed));
       ("classification", Json.Str (classification_to_string t.classification));
@@ -439,34 +501,73 @@ let trial_to_json t =
              t.faults) );
       ("stall", stall);
     ]
+    @
+    (* Failover fields only exist when the trial tracked a ledger
+       (crashes planned) — crash-free summary JSON stays byte-identical
+       to pre-failover output. *)
+    (if t.total_tiles = 0 && t.failed_over_ranks = [] then []
+     else
+       [
+         ( "failed_over",
+           Json.List
+             (List.map
+                (fun (rank, latency) ->
+                  Json.Obj
+                    [
+                      ("rank", Json.Num (float_of_int rank));
+                      ("latency_us", Json.Num latency);
+                    ])
+                t.failed_over_ranks) );
+         ("remapped_tiles", Json.Num (float_of_int t.remapped_tiles));
+         ("replayed_tiles", Json.Num (float_of_int t.replayed_tiles));
+         ("total_tiles", Json.Num (float_of_int t.total_tiles));
+       ]))
 
 let summary_to_json s =
-  let latencies = List.sort compare s.s_recovery_latencies in
-  let pct p =
-    if latencies = [] then Json.Null else Json.Num (Stats.percentile p latencies)
+  let percentiles latencies =
+    let latencies = List.sort compare latencies in
+    let pct p =
+      if latencies = [] then Json.Null
+      else Json.Num (Stats.percentile p latencies)
+    in
+    Json.Obj
+      [
+        ("count", Json.Num (float_of_int (List.length latencies)));
+        ("p50", pct 50.0);
+        ("p95", pct 95.0);
+        ("p99", pct 99.0);
+      ]
+  in
+  (* Gate the failover fields exactly like the per-trial export: only
+     summaries that contain crash data mention failover at all. *)
+  let crashy =
+    List.exists
+      (fun t -> t.total_tiles > 0 || t.failed_over_ranks <> [])
+      s.s_trials
   in
   Json.Obj
-    [
-      ("workload", Json.Str (workload_to_string s.s_workload));
-      ("seed", Json.Num (float_of_int s.s_seed));
-      ("trials", Json.Num (float_of_int (List.length s.s_trials)));
-      ( "classification",
-        Json.Obj
-          [
-            ("clean", Json.Num (float_of_int s.s_clean));
-            ("recovered", Json.Num (float_of_int s.s_recovered));
-            ("degraded", Json.Num (float_of_int s.s_degraded));
-            ("stalled", Json.Num (float_of_int s.s_stalled));
-          ] );
-      ( "recovery_latency_us",
-        Json.Obj
-          [
-            ("count", Json.Num (float_of_int (List.length latencies)));
-            ("p50", pct 50.0);
-            ("p95", pct 95.0);
-            ("p99", pct 99.0);
-          ] );
-      ("trial_results", Json.List (List.map trial_to_json s.s_trials));
-    ]
+    ([
+       ("workload", Json.Str (workload_to_string s.s_workload));
+       ("seed", Json.Num (float_of_int s.s_seed));
+       ("trials", Json.Num (float_of_int (List.length s.s_trials)));
+       ( "classification",
+         Json.Obj
+           ([
+              ("clean", Json.Num (float_of_int s.s_clean));
+              ("recovered", Json.Num (float_of_int s.s_recovered));
+            ]
+           @ (if crashy then
+                [ ("failed_over", Json.Num (float_of_int s.s_failed_over)) ]
+              else [])
+           @ [
+               ("degraded", Json.Num (float_of_int s.s_degraded));
+               ("stalled", Json.Num (float_of_int s.s_stalled));
+             ]) );
+       ("recovery_latency_us", percentiles s.s_recovery_latencies);
+     ]
+    @ (if crashy then
+         [ ("failover_latency_us", percentiles s.s_failover_latencies) ]
+       else [])
+    @ [ ("trial_results", Json.List (List.map trial_to_json s.s_trials)) ])
 
 let summary_to_string s = Json.to_string ~indent:true (summary_to_json s)

@@ -18,9 +18,12 @@ val workload_of_string : string -> workload option
 
 (** Trial outcome, in decreasing order of health: [Clean] (no recovery
     action needed), [Recovered] (watchdog re-issued lost signals),
+    [Failed_over] (a rank crashed; its unfinished tiles were remapped
+    onto the survivors and replayed, numerics still bit-identical),
     [Degraded] (waits force-released; fallback recomputation charged),
-    [Stalled] (watchdog raised {!Chaos.Stall} under [Fail_stop]). *)
-type classification = Clean | Recovered | Degraded | Stalled
+    [Stalled] (watchdog raised {!Chaos.Stall} under [Fail_stop], or a
+    crash left no survivors). *)
+type classification = Clean | Recovered | Failed_over | Degraded | Stalled
 
 val classification_to_string : classification -> string
 
@@ -51,6 +54,13 @@ type trial = {
   degraded_keys : string list;
   faults : (string * string) list;  (** schedule's injection log *)
   stall : stall_info option;
+  failed_over_ranks : (int * float) list;
+      (** (crashed rank, detect->resume latency µs); JSON export omits
+          the failover fields on crash-free trials so pre-crash
+          summaries stay byte-identical *)
+  remapped_tiles : int;  (** unfinished tiles rerouted to survivors *)
+  replayed_tiles : int;  (** tasks actually re-executed on survivors *)
+  total_tiles : int;  (** ledger size (0 when no crashes were planned) *)
 }
 
 type summary = {
@@ -59,15 +69,18 @@ type summary = {
   s_trials : trial list;
   s_clean : int;
   s_recovered : int;
+  s_failed_over : int;
   s_degraded : int;
   s_stalled : int;
   s_recovery_latencies : float list;
+  s_failover_latencies : float list;
 }
 
 val run_trial :
   ?spec:Chaos.spec ->
   ?retry:bool ->
   ?policy:Chaos.policy ->
+  ?crash_ranks:int ->
   ?watchdog:Chaos.watchdog ->
   workload:workload ->
   seed:int ->
@@ -77,12 +90,19 @@ val run_trial :
 (** Run one trial: a fault-free run to measure the ideal makespan,
     then the seeded chaos run with a watchdog scaled to it ([watchdog]
     overrides the scaling verbatim).  [retry] defaults to [true],
-    [policy] to [Degrade], [spec] to {!Chaos.default_spec}. *)
+    [policy] to [Degrade], [spec] to {!Chaos.default_spec}.
+
+    [crash_ranks] (default 0) forces that many seeded permanent rank
+    crashes into the schedule.  When positive, the signal-fault
+    probabilities of [spec] are zeroed (crash recovery must keep
+    numerics bit-identical; degraded stale-read fallbacks would not)
+    and a [Degrade] policy is upgraded to {!Chaos.Failover}. *)
 
 val profile_trial :
   ?spec:Chaos.spec ->
   ?retry:bool ->
   ?policy:Chaos.policy ->
+  ?crash_ranks:int ->
   ?watchdog:Chaos.watchdog ->
   workload:workload ->
   seed:int ->
@@ -98,6 +118,7 @@ val run_trials :
   ?spec:Chaos.spec ->
   ?retry:bool ->
   ?policy:Chaos.policy ->
+  ?crash_ranks:int ->
   ?watchdog:Chaos.watchdog ->
   workload:workload ->
   seed:int ->

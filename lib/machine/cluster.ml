@@ -32,6 +32,13 @@ type t = {
   ranks : rank array;
   nics : Tilelink_sim.Bandwidth.t array; (* one per node *)
   mutable disturbance : disturbance option;
+  (* Rank liveness for crash-fault injection.  [alive] flips false when
+     a rank crashes; [recovered] flips true once a failover coordinator
+     has re-hosted the rank's symmetric memory on the survivors, at
+     which point transfers touching the rank succeed again (they read
+     the recovered shard). *)
+  alive : bool array;
+  recovered : bool array;
 }
 
 let create ?(trace_enabled = false) (spec : Spec.t) ~world_size =
@@ -71,7 +78,17 @@ let create ?(trace_enabled = false) (spec : Spec.t) ~world_size =
               ~latency_us:spec.interconnect.nvlink_latency ~streams:1 ();
         })
   in
-  { spec; world_size; engine; trace; ranks; nics; disturbance = None }
+  {
+    spec;
+    world_size;
+    engine;
+    trace;
+    ranks;
+    nics;
+    disturbance = None;
+    alive = Array.make world_size true;
+    recovered = Array.make world_size false;
+  }
 
 (* Installing a disturbance also wires the bandwidth throttles so the
    link servers themselves sample the degradation at admission time. *)
@@ -94,6 +111,40 @@ let clear_disturbance t =
     (fun r -> Tilelink_sim.Bandwidth.clear_throttle r.nvlink_egress)
     t.ranks;
   Array.iter Tilelink_sim.Bandwidth.clear_throttle t.nics
+
+let check_rank_id t rank_id label =
+  if rank_id < 0 || rank_id >= t.world_size then
+    invalid_arg (Printf.sprintf "Cluster.%s: rank %d out of range" label rank_id)
+
+let kill_rank t ~rank_id =
+  check_rank_id t rank_id "kill_rank";
+  t.alive.(rank_id) <- false
+
+let revive_rank t ~rank_id =
+  check_rank_id t rank_id "revive_rank";
+  t.alive.(rank_id) <- true
+
+let is_alive t ~rank_id =
+  check_rank_id t rank_id "is_alive";
+  t.alive.(rank_id)
+
+let mark_recovered t ~rank_id =
+  check_rank_id t rank_id "mark_recovered";
+  t.recovered.(rank_id) <- true
+
+let is_recovered t ~rank_id =
+  check_rank_id t rank_id "is_recovered";
+  t.recovered.(rank_id)
+
+let alive_ranks t =
+  List.filter (fun r -> t.alive.(r)) (List.init t.world_size Fun.id)
+
+let dead_ranks t =
+  List.filter (fun r -> not t.alive.(r)) (List.init t.world_size Fun.id)
+
+(* A transfer endpoint is unreachable while its rank is down and nobody
+   has re-hosted its memory yet. *)
+let unreachable t r = (not t.alive.(r)) && not t.recovered.(r)
 
 let spec t = t.spec
 let world_size t = t.world_size
@@ -133,8 +184,13 @@ let nvlink_bytes t ~rank_id =
    NICs (modeled as the source node NIC, the bottleneck in practice).
    A local "transfer" is a no-op time-wise beyond HBM, which callers
    model separately. *)
-let transfer t ~src ~dst ~bytes =
+let transfer ?(force = false) t ~src ~dst ~bytes =
   if src = dst then ()
+  else if (not force) && (unreachable t src || unreachable t dst) then
+    (* Fail fast: a transfer touching a dead, unrecovered rank returns
+       immediately with no time charged and no bytes moved.  The caller
+       must treat the destination contents as garbage. *)
+    ()
   else if same_node t src dst then
     Tilelink_sim.Bandwidth.transfer t.ranks.(src).nvlink_egress ~bytes
   else Tilelink_sim.Bandwidth.transfer t.nics.(t.ranks.(src).node) ~bytes
@@ -144,6 +200,9 @@ let transfer_duration t ~src ~dst ~bytes =
   else if same_node t src dst then
     Tilelink_sim.Bandwidth.duration t.ranks.(src).nvlink_egress ~bytes
   else Tilelink_sim.Bandwidth.duration t.nics.(t.ranks.(src).node) ~bytes
+
+let transfer_ok t ~src ~dst =
+  src = dst || not (unreachable t src || unreachable t dst)
 
 (* Run a kernel-shaped activity on [sms] SMs of [rank_id] for
    [duration]: acquire the SM pool, wait, trace. *)

@@ -58,9 +58,37 @@ val nic_bytes : t -> node:int -> float
 val nvlink_bytes : t -> rank_id:int -> float
 (** Bytes that left the rank's NVLink egress so far. *)
 
-val transfer : t -> src:int -> dst:int -> bytes:float -> unit
+val kill_rank : t -> rank_id:int -> unit
+(** Crash a rank: {!is_alive} flips false and transfers touching it
+    fail fast until {!mark_recovered} (or {!revive_rank}). *)
+
+val revive_rank : t -> rank_id:int -> unit
+(** Transient-crash recovery: the rank is reachable again.  Processes
+    that already abandoned work do not restart — replay is the failover
+    coordinator's job. *)
+
+val is_alive : t -> rank_id:int -> bool
+val alive_ranks : t -> int list
+val dead_ranks : t -> int list
+
+val mark_recovered : t -> rank_id:int -> unit
+(** The failover coordinator re-hosted the rank's symmetric memory on
+    the survivors: transfers touching the (still dead) rank succeed
+    again, modelling reads/writes of the recovered shard. *)
+
+val is_recovered : t -> rank_id:int -> bool
+
+val transfer : ?force:bool -> t -> src:int -> dst:int -> bytes:float -> unit
 (** Blocking move over NVLink (intra-node) or NIC (inter-node); no-op
-    when [src = dst].  Must run inside a process. *)
+    when [src = dst].  Must run inside a process.  When either endpoint
+    is dead and not recovered the transfer fails fast (returns
+    immediately, no bytes moved) unless [force] is set — the replay
+    path forces transfers because it executes against recovered
+    memory. *)
+
+val transfer_ok : t -> src:int -> dst:int -> bool
+(** Whether a (non-forced) transfer between these endpoints would
+    actually move data right now. *)
 
 val transfer_duration : t -> src:int -> dst:int -> bytes:float -> float
 

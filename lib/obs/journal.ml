@@ -28,6 +28,14 @@ type event =
   | Recovered of { key : string; rank : int; latency : float }
   | Stall_detected of { key : string; rank : int; threshold : int; value : int }
   | Degraded of { key : string; rank : int }
+  | Rank_crashed of { rank : int; transient : bool }
+      (** Chaos killed [rank]; [transient] when it will restart. *)
+  | Remapped of { rank : int; tiles : int }
+      (** Failover rerouted [tiles] unfinished tiles of dead [rank]
+          onto the survivors. *)
+  | Resumed of { rank : int; replayed : int; latency : float }
+      (** Failover replayed [replayed] lost tasks of [rank] and
+          resumed, [latency] µs after the crash. *)
 
 type entry = { t : float; seq : int; event : event }
 
@@ -83,6 +91,9 @@ let event_name = function
   | Recovered _ -> "recovered"
   | Stall_detected _ -> "stall_detected"
   | Degraded _ -> "degraded"
+  | Rank_crashed _ -> "rank_crashed"
+  | Remapped _ -> "remapped"
+  | Resumed _ -> "resumed"
 
 let entry_to_json { t = time; seq; event } =
   let base = [ ("t", Json.Num time); ("seq", Json.Num (float_of_int seq)) ] in
@@ -155,6 +166,22 @@ let entry_to_json { t = time; seq; event } =
       ]
     | Degraded { key; rank } ->
       [ ("key", Json.Str key); ("rank", Json.Num (float_of_int rank)) ]
+    | Rank_crashed { rank; transient } ->
+      [
+        ("rank", Json.Num (float_of_int rank));
+        ("transient", Json.Bool transient);
+      ]
+    | Remapped { rank; tiles } ->
+      [
+        ("rank", Json.Num (float_of_int rank));
+        ("tiles", Json.Num (float_of_int tiles));
+      ]
+    | Resumed { rank; replayed; latency } ->
+      [
+        ("rank", Json.Num (float_of_int rank));
+        ("replayed", Json.Num (float_of_int replayed));
+        ("latency", Json.Num latency);
+      ]
   in
   Json.Obj (("event", Json.Str (event_name event)) :: (base @ fields))
 
@@ -186,6 +213,12 @@ let entry_summary { t = time; event; _ } =
     | Stall_detected { key; rank; threshold; value } ->
       Printf.sprintf "%s rank=%d value=%d threshold=%d" key rank value threshold
     | Degraded { key; rank } -> Printf.sprintf "%s rank=%d" key rank
+    | Rank_crashed { rank; transient } ->
+      Printf.sprintf "rank=%d%s" rank (if transient then " transient" else "")
+    | Remapped { rank; tiles } ->
+      Printf.sprintf "rank=%d tiles=%d" rank tiles
+    | Resumed { rank; replayed; latency } ->
+      Printf.sprintf "rank=%d replayed=%d after %.1fus" rank replayed latency
   in
   Printf.sprintf "t=%.1f %s %s" time (event_name event) detail
 

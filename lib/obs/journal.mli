@@ -19,6 +19,9 @@ type event =
   | Recovered of { key : string; rank : int; latency : float }
   | Stall_detected of { key : string; rank : int; threshold : int; value : int }
   | Degraded of { key : string; rank : int }
+  | Rank_crashed of { rank : int; transient : bool }
+  | Remapped of { rank : int; tiles : int }
+  | Resumed of { rank : int; replayed : int; latency : float }
 
 type entry = { t : float; seq : int; event : event }
 

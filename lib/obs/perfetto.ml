@@ -264,6 +264,21 @@ let instant_events journal =
       | Journal.Degraded { key; rank } ->
         Some (instant ~name:"DEGRADED" ~scope:"p" ~t ~rank
                 [ ("key", Json.Str key) ])
+      | Journal.Rank_crashed { rank; transient } ->
+        Some
+          (instant ~name:"CRASH" ~scope:"g" ~t ~rank
+             [ ("transient", Json.Bool transient) ])
+      | Journal.Remapped { rank; tiles } ->
+        Some
+          (instant ~name:"REMAP" ~scope:"g" ~t ~rank
+             [ ("tiles", Json.Num (float_of_int tiles)) ])
+      | Journal.Resumed { rank; replayed; latency } ->
+        Some
+          (instant ~name:"RESUME" ~scope:"g" ~t ~rank
+             [
+               ("replayed", Json.Num (float_of_int replayed));
+               ("latency_us", Json.Num latency);
+             ])
       | _ -> None)
     (Journal.entries journal)
 

@@ -6,7 +6,7 @@
    [red.release] / [ld.global.acquire] spin loop collapsed into an
    event subscription. *)
 
-type waiter = { threshold : int; resume : unit -> unit }
+type waiter = { threshold : int; resume : unit -> unit; tag : int }
 
 type t = {
   name : string;
@@ -14,6 +14,8 @@ type t = {
   mutable waiters : waiter list;
   mutable notify_count : int;
 }
+
+let no_tag = -1
 
 let create ?(name = "counter") () =
   { name; value = 0; waiters = []; notify_count = 0 }
@@ -43,10 +45,21 @@ let set_at_least t target =
     wake t
   end
 
-let await_ge t threshold =
+let await_ge ?(tag = no_tag) t threshold =
   if t.value < threshold then
     Process.suspend (fun resume ->
-        t.waiters <- { threshold; resume } :: t.waiters)
+        t.waiters <- { threshold; resume; tag } :: t.waiters)
+
+(* Cancel-by-tag: wake every waiter registered under [tag] without
+   raising the counter value.  The resumed process observes an
+   unsatisfied threshold and must decide for itself what to do (a dead
+   rank's worker abandons its task).  Returns how many were woken. *)
+let cancel_tag t ~tag =
+  if tag = no_tag then invalid_arg "Counter.cancel_tag: reserved tag";
+  let cancelled, still = List.partition (fun w -> w.tag = tag) t.waiters in
+  t.waiters <- still;
+  List.iter (fun w -> w.resume ()) (List.rev cancelled);
+  List.length cancelled
 
 let reset t =
   if t.waiters <> [] then invalid_arg "Counter.reset: waiters present";

@@ -14,8 +14,19 @@ val add : t -> int -> unit
 val set_at_least : t -> int -> unit
 (** Raise the value to at least [target] (idempotent notify). *)
 
-val await_ge : t -> int -> unit
-(** Park the calling process until [value >= threshold]. *)
+val await_ge : ?tag:int -> t -> int -> unit
+(** Park the calling process until [value >= threshold].  [tag]
+    (default {!no_tag}) labels the parked waiter for {!cancel_tag} —
+    runtimes tag waits with the executing rank so a crashed rank's
+    blocked workers can be force-woken. *)
+
+val no_tag : int
+(** The reserved "never cancelled" tag. *)
+
+val cancel_tag : t -> tag:int -> int
+(** Wake every waiter registered under [tag] without changing the
+    counter value; the resumed process sees its threshold unsatisfied.
+    Returns the number woken.  Raises on {!no_tag}. *)
 
 val reset : t -> unit
 (** Reset to zero; fails if any process is waiting. *)

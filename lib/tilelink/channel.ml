@@ -126,10 +126,15 @@ let notify_instr t ~kind ~rank counter ~amount =
    pending-wait registry is maintained unconditionally: it is what
    watchdogs and deadlock enrichment read, and must not depend on
    telemetry being on. *)
-let wait_instr t ~kind ~rank counter ~threshold =
+let wait_instr ?waiter t ~kind ~rank counter ~threshold =
   let key = Tilelink_sim.Counter.name counter in
   let id = t.next_wait_id in
   t.next_wait_id <- id + 1;
+  (* The cancellation tag is the *executing* rank (the process that
+     blocks here), which for pc waits differs from [rank] (the channel
+     owner): killing a rank must wake the workers it hosts, not the
+     waiters watching its channels. *)
+  let tag = Option.value ~default:Tilelink_sim.Counter.no_tag waiter in
   Hashtbl.replace t.pending id
     { pw_key = key; pw_rank = rank; pw_threshold = threshold;
       pw_since = t.clock () };
@@ -139,7 +144,7 @@ let wait_instr t ~kind ~rank counter ~threshold =
      let t0 = t.clock () in
      Tilelink_obs.Journal.record journal ~t:t0
        (Tilelink_obs.Journal.Wait_begin { key; rank; threshold });
-     Tilelink_sim.Counter.await_ge counter threshold;
+     Tilelink_sim.Counter.await_ge ~tag counter threshold;
      let t1 = t.clock () in
      Tilelink_obs.Journal.record journal ~t:t1
        (Tilelink_obs.Journal.Wait_end { key; rank; threshold; started = t0 });
@@ -147,7 +152,7 @@ let wait_instr t ~kind ~rank counter ~threshold =
      Tilelink_obs.Metrics.inc metrics ("waits." ^ kind);
      Tilelink_obs.Metrics.observe metrics ("wait_us." ^ kind) (t1 -. t0)
    end
-   else Tilelink_sim.Counter.await_ge counter threshold);
+   else Tilelink_sim.Counter.await_ge ~tag counter threshold);
   Hashtbl.remove t.pending id
 
 let create ~world_size ~channels_per_rank ?(peer_channels = 1) ?telemetry
@@ -209,6 +214,16 @@ let force_signal t ~key ~target =
   | None -> invalid_arg (Printf.sprintf "Channel.force_signal: unknown key %s" key)
   | Some c -> Tilelink_sim.Counter.set_at_least c target
 
+(* Elastic remap support: register [alias] as another name of the
+   counter behind [key].  Rerouted keys of a remapped protocol resolve
+   (for force_signal / key_value / the watchdog) to the original
+   counter the already-blocked consumers are waiting on. *)
+let register_remap t ~key ~alias =
+  match Hashtbl.find_opt t.by_key key with
+  | None ->
+    invalid_arg (Printf.sprintf "Channel.register_remap: unknown key %s" key)
+  | Some c -> Hashtbl.replace t.by_key alias c
+
 let world_size t = t.world_size
 let channels_per_rank t = t.channels_per_rank
 
@@ -220,16 +235,32 @@ let check_channel t c label =
   if c < 0 || c >= t.channels_per_rank then
     invalid_arg (Printf.sprintf "Channel.%s: channel %d out of range" label c)
 
+(* Force-release every wait a crashed rank's processes are blocked in:
+   the counters keep their values (nothing is delivered), the woken
+   workers observe the rank is dead and abandon their tasks.  Without
+   this a dead rank's parked workers would keep the engine's live count
+   up forever and a polling watchdog would spin for eternity. *)
+let cancel_rank_waits t ~rank =
+  check_rank t rank "cancel_rank_waits";
+  (* Iterate the structured arrays, not [by_key]: remap aliases point
+     at counters already visited and must not be cancelled twice. *)
+  let n = ref 0 in
+  let cancel c = n := !n + Tilelink_sim.Counter.cancel_tag c ~tag:rank in
+  Array.iter (Array.iter cancel) t.pc;
+  Array.iter (Array.iter (Array.iter cancel)) t.peer;
+  Array.iter (Array.iter cancel) t.host;
+  !n
+
 (* Producer/consumer channel on [rank]. *)
 let pc_notify t ~rank ~channel ~amount =
   check_rank t rank "pc_notify";
   check_channel t channel "pc_notify";
   notify_instr t ~kind:"pc" ~rank t.pc.(rank).(channel) ~amount
 
-let pc_wait t ~rank ~channel ~threshold =
+let pc_wait ?waiter t ~rank ~channel ~threshold =
   check_rank t rank "pc_wait";
   check_channel t channel "pc_wait";
-  wait_instr t ~kind:"pc" ~rank t.pc.(rank).(channel) ~threshold
+  wait_instr ?waiter t ~kind:"pc" ~rank t.pc.(rank).(channel) ~threshold
 
 let pc_value t ~rank ~channel =
   check_rank t rank "pc_value";
@@ -242,10 +273,11 @@ let peer_notify t ~src ~dst ?(channel = 0) ~amount () =
   check_rank t dst "peer_notify";
   notify_instr t ~kind:"peer" ~rank:src t.peer.(dst).(src).(channel) ~amount
 
-let peer_wait t ~src ~dst ?(channel = 0) ~threshold () =
+let peer_wait ?waiter t ~src ~dst ?(channel = 0) ~threshold () =
   check_rank t src "peer_wait";
   check_rank t dst "peer_wait";
-  wait_instr t ~kind:"peer" ~rank:dst t.peer.(dst).(src).(channel) ~threshold
+  wait_instr ?waiter t ~kind:"peer" ~rank:dst t.peer.(dst).(src).(channel)
+    ~threshold
 
 let peer_value t ~src ~dst ?(channel = 0) () =
   Tilelink_sim.Counter.value t.peer.(dst).(src).(channel)
@@ -256,10 +288,10 @@ let host_notify t ~src ~dst ~amount =
   check_rank t dst "host_notify";
   notify_instr t ~kind:"host" ~rank:src t.host.(dst).(src) ~amount
 
-let host_wait t ~src ~dst ~threshold =
+let host_wait ?waiter t ~src ~dst ~threshold =
   check_rank t src "host_wait";
   check_rank t dst "host_wait";
-  wait_instr t ~kind:"host" ~rank:dst t.host.(dst).(src) ~threshold
+  wait_instr ?waiter t ~kind:"host" ~rank:dst t.host.(dst).(src) ~threshold
 
 let total_notifies t =
   let sum = ref 0 in

@@ -52,19 +52,47 @@ val world_size : t -> int
 val channels_per_rank : t -> int
 
 val pc_notify : t -> rank:int -> channel:int -> amount:int -> unit
-val pc_wait : t -> rank:int -> channel:int -> threshold:int -> unit
+
+val pc_wait :
+  ?waiter:int -> t -> rank:int -> channel:int -> threshold:int -> unit
+(** [waiter] is the *executing* rank blocking in the wait (which for pc
+    channels differs from [rank], the channel owner); it tags the parked
+    process so {!cancel_rank_waits} can force-wake it if that rank
+    crashes. *)
+
 val pc_value : t -> rank:int -> channel:int -> int
 
 val peer_notify :
   t -> src:int -> dst:int -> ?channel:int -> amount:int -> unit -> unit
 
 val peer_wait :
-  t -> src:int -> dst:int -> ?channel:int -> threshold:int -> unit -> unit
+  ?waiter:int ->
+  t ->
+  src:int ->
+  dst:int ->
+  ?channel:int ->
+  threshold:int ->
+  unit ->
+  unit
 
 val peer_value : t -> src:int -> dst:int -> ?channel:int -> unit -> int
 
 val host_notify : t -> src:int -> dst:int -> amount:int -> unit
-val host_wait : t -> src:int -> dst:int -> threshold:int -> unit
+val host_wait : ?waiter:int -> t -> src:int -> dst:int -> threshold:int -> unit
+
+val cancel_rank_waits : t -> rank:int -> int
+(** Force-wake every wait whose executing rank (the [waiter] tag) is
+    [rank], without delivering anything: counters keep their values and
+    the resumed processes see their thresholds unsatisfied.  Returns the
+    number of waits released.  This is how a crash stops a dead rank's
+    workers from parking forever. *)
+
+val register_remap : t -> key:string -> alias:string -> unit
+(** Make [alias] resolve (for {!force_signal}, {!key_value},
+    {!intended_value} consumers going through [key_value]) to the same
+    counter as [key] — the elastic-remap hook that reroutes a dead
+    rank's channel keys onto survivor-owned counters.  Raises
+    [Invalid_argument] when [key] is unknown. *)
 
 val total_notifies : t -> int
 

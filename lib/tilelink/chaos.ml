@@ -97,6 +97,8 @@ type spec = {
   delay_prob : float;
   delay_us : float;
   reissue_drop_prob : float;
+  crash_prob : float;
+  crash_transient_prob : float;
 }
 
 let default_spec =
@@ -117,6 +119,11 @@ let default_spec =
     delay_prob = 0.04;
     delay_us = 20.0;
     reissue_drop_prob = 0.2;
+    (* Crash faults are opt-in: a zero probability consumes no RNG
+       draws, so schedules planned before crashes existed replay
+       byte-identically. *)
+    crash_prob = 0.0;
+    crash_transient_prob = 0.0;
   }
 
 let no_machine_faults spec =
@@ -126,6 +133,7 @@ let no_machine_faults spec =
     link_outage_prob = 0.0;
     straggler_prob = 0.0;
     copy_stall_prob = 0.0;
+    crash_prob = 0.0;
   }
 
 let signal_faults_only ~drop_prob =
@@ -139,6 +147,12 @@ let signal_faults_only ~drop_prob =
 
 type window = { w_from : float; w_until : float; w_factor : float }
 
+(* A rank-crash fault: the rank dies at [cr_at]; [cr_until = Some t]
+   models a transient crash (process restart) after which the rank is
+   reachable again — its lost work is still the failover coordinator's
+   to replay. *)
+type crash = { cr_at : float; cr_until : float option }
+
 type schedule = {
   seed : int;
   spec : spec;
@@ -146,6 +160,7 @@ type schedule = {
   link_windows : window list array;
   copy_windows : window list array;
   straggler : float array;
+  mutable crash_faults : (int * crash) list;
   (* Occurrence counter per signal key: the n-th notify on a key gets a
      decision hashed from (seed, key, n). *)
   counts : (string, int) Hashtbl.t;
@@ -156,9 +171,12 @@ type schedule = {
 
 let note sched kind subject = sched.injected <- (kind, subject) :: sched.injected
 
-let plan ?(spec = default_spec) ?(horizon_us = 2000.0) ~seed ~world_size () =
+let plan ?(spec = default_spec) ?(horizon_us = 2000.0) ?(crash_ranks = 0) ~seed
+    ~world_size () =
   if world_size <= 0 then invalid_arg "Chaos.plan: world_size";
   if horizon_us <= 0.0 then invalid_arg "Chaos.plan: horizon_us";
+  if crash_ranks < 0 || crash_ranks > world_size then
+    invalid_arg "Chaos.plan: crash_ranks out of range";
   let sched =
     {
       seed;
@@ -167,6 +185,7 @@ let plan ?(spec = default_spec) ?(horizon_us = 2000.0) ~seed ~world_size () =
       link_windows = Array.make world_size [];
       copy_windows = Array.make world_size [];
       straggler = Array.make world_size 1.0;
+      crash_faults = [];
       counts = Hashtbl.create 64;
       reissues = 0;
       injected = [];
@@ -197,9 +216,56 @@ let plan ?(spec = default_spec) ?(horizon_us = 2000.0) ~seed ~world_size () =
     if Prng.float rng < spec.copy_stall_prob then begin
       sched.copy_windows.(rank) <- [ mk_window 0.0 ];
       note sched "copy_stall" subj
+    end;
+    (* Crash draws come last and only when enabled, so a crash-free
+       spec consumes exactly the pre-crash RNG stream — existing seeded
+       schedules (and the CLI's --check byte-identity contract) are
+       untouched. *)
+    if spec.crash_prob > 0.0 && Prng.float rng < spec.crash_prob then begin
+      let at = Prng.range rng (0.1 *. horizon_us) (0.6 *. horizon_us) in
+      let transient = Prng.float rng < spec.crash_transient_prob in
+      let cr_until =
+        if transient then
+          Some (at +. Prng.range rng (0.1 *. horizon_us) (0.3 *. horizon_us))
+        else None
+      in
+      sched.crash_faults <- (rank, { cr_at = at; cr_until }) :: sched.crash_faults;
+      note sched "rank_crash" subj
     end
   done;
+  (* Forced deterministic crashes for [crash_ranks]: victims and crash
+     instants are drawn from a dedicated sub-stream so they neither
+     perturb the per-rank draws above nor depend on them. *)
+  if crash_ranks > 0 then begin
+    let crng = Prng.create ~seed:(derive_seed ~seed ~index:104729) in
+    let crashed = Hashtbl.create 4 in
+    List.iter (fun (r, _) -> Hashtbl.replace crashed r ()) sched.crash_faults;
+    let forced = ref 0 in
+    while !forced < crash_ranks && Hashtbl.length crashed < world_size do
+      let r =
+        Int64.to_int
+          (Int64.rem
+             (Int64.logand (Prng.next crng) Int64.max_int)
+             (Int64.of_int world_size))
+      in
+      if not (Hashtbl.mem crashed r) then begin
+        Hashtbl.replace crashed r ();
+        let at = Prng.range crng (0.15 *. horizon_us) (0.45 *. horizon_us) in
+        sched.crash_faults <- (r, { cr_at = at; cr_until = None }) :: sched.crash_faults;
+        note sched "rank_crash" (Printf.sprintf "rank%d" r);
+        incr forced
+      end
+    done
+  end;
   sched
+
+(* Crash faults ordered by crash instant (rank breaks ties) — the order
+   the runtime schedules the kill thunks in. *)
+let crashes sched =
+  List.sort
+    (fun (r1, c1) (r2, c2) ->
+      match compare c1.cr_at c2.cr_at with 0 -> compare r1 r2 | c -> c)
+    sched.crash_faults
 
 let injected sched = List.rev sched.injected
 
@@ -280,7 +346,7 @@ let apply_to_cluster sched cluster =
 (* Watchdog                                                            *)
 (* ------------------------------------------------------------------ *)
 
-type policy = Fail_stop | Degrade
+type policy = Fail_stop | Degrade | Failover
 
 type watchdog = {
   poll_interval_us : float;
@@ -367,9 +433,26 @@ type recovery = {
   mutable recovered : (string * float) list;  (* key, latency µs; in order *)
   mutable degraded : string list;  (* keys force-released, in order *)
   mutable stalls : stall list;
+  (* Elastic-failover bookkeeping, filled by the runtime's recovery
+     coordinator (not the watchdog loop itself). *)
+  mutable failed_over : (int * float) list;
+      (* (crashed rank, detect->resume latency µs), in crash order *)
+  mutable remapped_tiles : int;
+  mutable replayed_tiles : int;
+  mutable total_tiles : int;
 }
 
-let fresh_recovery () = { retries = 0; recovered = []; degraded = []; stalls = [] }
+let fresh_recovery () =
+  {
+    retries = 0;
+    recovered = [];
+    degraded = [];
+    stalls = [];
+    failed_over = [];
+    remapped_tiles = 0;
+    replayed_tiles = 0;
+    total_tiles = 0;
+  }
 
 type control = {
   c_schedule : schedule option;
@@ -401,7 +484,8 @@ let group_overdue overdue =
    processes, polls while anything else is alive, and turns overdue
    waits into retries, degradations or a structured Stall.  All timing
    is simulation time; all randomness is the schedule's seeded coin. *)
-let watchdog_body ~engine ~channels ~telemetry ~(control : control) ~wd () =
+let watchdog_body ?hooks ~engine ~channels ~telemetry ~(control : control) ~wd
+    () =
   let open Tilelink_sim in
   let recov = control.c_recovery in
   let retry_state : (string, int * float) Hashtbl.t = Hashtbl.create 8 in
@@ -421,7 +505,10 @@ let watchdog_body ~engine ~channels ~telemetry ~(control : control) ~wd () =
   in
   let give_up ~now (rep : Channel.pending_wait) ~value ~intended =
     match wd.policy with
-    | Degrade ->
+    (* Failover handles *crash* faults through the hooks; an exhausted
+       signal-fault retry under Failover degrades gracefully rather than
+       fail-stopping the whole run. *)
+    | Degrade | Failover ->
       recov.degraded <- recov.degraded @ [ rep.Channel.pw_key ];
       journal_ev
         (Obs.Journal.Degraded
@@ -503,6 +590,13 @@ let watchdog_body ~engine ~channels ~telemetry ~(control : control) ~wd () =
   in
   let rec tick () =
     Process.wait wd.poll_interval_us;
+    (* Failover hooks run first, and *before* the live-process check:
+       a crash can drain every worker (they all abandon), leaving only
+       the watchdog live — the recovery coordinator must still get its
+       chance to remap and replay before the watchdog exits.  They also
+       must run before overdue-wait retry processing so a dead rank's
+       channels are remapped before any force_signal touches them. *)
+    (match hooks with Some h -> h () | None -> ());
     (* The watchdog itself counts as one live process: anything beyond
        that is real work still running (or blocked). *)
     if Engine.live_processes engine > 1 then begin

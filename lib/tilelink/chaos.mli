@@ -46,6 +46,11 @@ type spec = {
   delay_us : float;  (** nominal delivery delay (jittered 0.5–1.5x) *)
   reissue_drop_prob : float;
       (** probability a watchdog re-issue is itself lost *)
+  crash_prob : float;
+      (** per-rank probability of a crash fault; 0 (the default)
+          consumes no RNG, keeping pre-crash schedules byte-identical *)
+  crash_transient_prob : float;
+      (** given a crash, probability it is transient (rank restarts) *)
 }
 
 val default_spec : spec
@@ -57,13 +62,29 @@ val no_machine_faults : spec -> spec
 val signal_faults_only : drop_prob:float -> spec
 (** Only dropped notifies at the given rate; reliable re-issue. *)
 
+(** A rank-crash fault: the rank dies at [cr_at]; [cr_until = Some t]
+    makes it transient (reachable again at [t], lost work still needs
+    replay). *)
+type crash = { cr_at : float; cr_until : float option }
+
 type schedule
 
 val plan :
-  ?spec:spec -> ?horizon_us:float -> seed:int -> world_size:int -> unit ->
+  ?spec:spec ->
+  ?horizon_us:float ->
+  ?crash_ranks:int ->
+  seed:int ->
+  world_size:int ->
+  unit ->
   schedule
 (** Draw the full fault schedule for one run.  [horizon_us] bounds the
-    fault windows (default 2000). *)
+    fault windows (default 2000).  [crash_ranks] (default 0) forces
+    that many deterministic, seed-chosen permanent crashes mid-horizon
+    on top of any probabilistic crash draws; it may equal [world_size]
+    (no survivors) — triaging that is the runtime's job. *)
+
+val crashes : schedule -> (int * crash) list
+(** Planned crash faults ordered by crash instant (then rank). *)
 
 val injected : schedule -> (string * string) list
 (** Injection log, oldest first: (fault kind, subject) where subject is
@@ -85,8 +106,10 @@ val apply_to_cluster : schedule -> Tilelink_machine.Cluster.t -> unit
 (** What to do once retries are exhausted (or disabled): [Fail_stop]
     raises {!Stall}; [Degrade] force-releases the wait and records the
     key so the harness can charge the non-overlapped fallback for the
-    affected tile range. *)
-type policy = Fail_stop | Degrade
+    affected tile range.  [Failover] additionally arms the runtime's
+    crash-recovery coordinator (elastic remap + replay); for exhausted
+    signal-fault retries it behaves like [Degrade]. *)
+type policy = Fail_stop | Degrade | Failover
 
 type watchdog = {
   poll_interval_us : float;
@@ -129,13 +152,19 @@ val parse_key : string -> string * int * int option
 
 val stall_to_string : stall -> string
 
-(** Mutable record of what the watchdog did during one run. *)
+(** Mutable record of what the watchdog (and, for the failover fields,
+    the runtime's crash-recovery coordinator) did during one run. *)
 type recovery = {
   mutable retries : int;
   mutable recovered : (string * float) list;
       (** (key, recovery latency µs), in detection order *)
   mutable degraded : string list;  (** force-released keys, in order *)
   mutable stalls : stall list;
+  mutable failed_over : (int * float) list;
+      (** (crashed rank, detect->resume latency µs), in crash order *)
+  mutable remapped_tiles : int;  (** unfinished tiles rerouted to survivors *)
+  mutable replayed_tiles : int;  (** tasks actually re-executed *)
+  mutable total_tiles : int;  (** ledger size: all tracked tasks *)
 }
 
 val fresh_recovery : unit -> recovery
@@ -152,6 +181,7 @@ type control = {
 val control : ?schedule:schedule -> ?watchdog:watchdog -> unit -> control
 
 val watchdog_body :
+  ?hooks:(unit -> unit) ->
   engine:Tilelink_sim.Engine.t ->
   channels:Channel.t ->
   telemetry:Tilelink_obs.Telemetry.t option ->
@@ -161,4 +191,8 @@ val watchdog_body :
   unit
 (** The watchdog process body; spawned by the runtime after the role
     processes.  Polls every [poll_interval_us] while other processes
-    are live; raises {!Stall} under [Fail_stop]. *)
+    are live; raises {!Stall} under [Fail_stop].  [hooks] (the
+    runtime's crash-failover coordinator) runs at the top of every
+    tick, before the live-process check and before overdue-wait
+    processing — a crash that drains every worker must still be
+    recovered, and remap must precede any retry force-signals. *)

@@ -46,5 +46,15 @@ val bump_notify_amount : Program.t -> rank:int -> nth:int -> Program.t
 (** Raise the [nth] Notify amount on [rank] by one: the key advances
     one epoch beyond what the protocol registered waiters for. *)
 
+val remap_program : Program.t -> dead:int -> survivors:int list -> Program.t
+(** Rewrite every [Pc] target owned by [dead] onto the survivors using
+    {!Mapping.remap_rank}'s per-channel scheme (dead local channel [c]
+    to survivor [survivors.(c mod n)], fresh slot [cpr + c / n]) and
+    grow [pc_channels] to the remapped stride.  Live targets, peer and
+    host channels are unchanged.  This is the protocol the analyzer
+    re-validates against {!Mapping.remap_rank}'s mapping before a
+    failover replay.  Raises [Invalid_argument] on an empty, duplicated
+    or invalid survivor list. *)
+
 val count_notifies : Program.t -> rank:int -> int
 val count_waits : Program.t -> rank:int -> int

@@ -240,6 +240,89 @@ let ranks_for_range t ~lo ~hi =
       d.f_r;
     Hashtbl.fold (fun r () acc -> r :: acc) seen [] |> List.sort compare
 
+(* Elastic remap after a rank crash: reroute every channel the dead
+   rank owned onto the survivors, round-robin, and return the resulting
+   (necessarily dynamic) mapping.
+
+   The scheme is per-CHANNEL, not per-tile: dead rank's local channel
+   [c] moves to survivor [survivors.(c mod n)] at local slot
+   [cpr + c / n] — a fresh slot range so rerouted channels can never
+   collide with the survivor's own channels.  Live ranks keep their
+   local indices; only the channels-per-rank stride grows to
+   [cpr + ceil(cpr / n)].  Completion thresholds transfer unchanged
+   (the old per-channel expected counts, multiplicity included, move
+   with the channel), so a replayed producer satisfies exactly the
+   same number of notifies the consumers were promised. *)
+let remap_rank t ~dead ~survivors =
+  let r = ranks t and cpr = channels_per_rank t in
+  if dead < 0 || dead >= r then
+    invalid_arg "Mapping.remap_rank: dead rank out of range";
+  if survivors = [] then invalid_arg "Mapping.remap_rank: no survivors";
+  let sv = Array.of_list (List.sort_uniq compare survivors) in
+  if Array.length sv <> List.length survivors then
+    invalid_arg "Mapping.remap_rank: duplicate survivors";
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= r then
+        invalid_arg "Mapping.remap_rank: survivor out of range";
+      if s = dead then
+        invalid_arg "Mapping.remap_rank: dead rank listed as survivor")
+    sv;
+  let n = Array.length sv in
+  let new_cpr = cpr + ceil_div cpr n in
+  let reroute rank local =
+    if rank = dead then (sv.(local mod n), cpr + (local / n))
+    else (rank, local)
+  in
+  let nt = num_tiles t in
+  let f_s_low = Array.init nt (fun tid -> fst (shape_range t ~tid)) in
+  let f_s_high = Array.init nt (fun tid -> snd (shape_range t ~tid)) in
+  let f_src_low = Array.init nt (fun tid -> fst (src_shard_range t ~tid)) in
+  let f_r = Array.make nt 0 in
+  let f_c = Array.make nt 0 in
+  for tid = 0 to nt - 1 do
+    let old_rank, old_local = split_channel t (channel_of t ~tid) in
+    let nr, nl = reroute old_rank old_local in
+    f_r.(tid) <- nr;
+    f_c.(tid) <- (nr * new_cpr) + nl
+  done;
+  (* Transfer per-channel completion thresholds (not a recount from the
+     tile tables: static multiplicity must survive the remap). *)
+  let dyn_expected = Array.make (r * new_cpr) 0 in
+  for ch = 0 to num_channels t - 1 do
+    let old_rank, old_local = split_channel t ch in
+    let nr, nl = reroute old_rank old_local in
+    let nch = (nr * new_cpr) + nl in
+    dyn_expected.(nch) <- dyn_expected.(nch) + expected t ~channel:ch
+  done;
+  let max_row = Array.fold_left max 0 f_s_high in
+  let row_channels = Array.make max_row [] in
+  Array.iteri
+    (fun tid c ->
+      for row = f_s_low.(tid) to f_s_high.(tid) - 1 do
+        row_channels.(row) <- c :: row_channels.(row)
+      done)
+    f_c;
+  Dynamic
+    {
+      f_s_low;
+      f_s_high;
+      f_r;
+      f_c;
+      f_src_low = Some f_src_low;
+      dyn_expected;
+      dyn_ranks = r;
+      dyn_channels_per_rank = new_cpr;
+      row_channels;
+    }
+
+(* The channel-space stride a remapped protocol uses: mirrors
+   [remap_rank] so runtimes and program rewriters agree without
+   constructing a mapping. *)
+let remap_channels_per_rank ~channels_per_rank ~survivors =
+  if survivors <= 0 then invalid_arg "Mapping.remap_channels_per_rank";
+  channels_per_rank + ceil_div channels_per_rank survivors
+
 let pp ppf = function
   | Static s ->
     Fmt.pf ppf

@@ -59,4 +59,20 @@ val channels_for_range : t -> lo:int -> hi:int -> (int * int) list
 val ranks_for_range : t -> lo:int -> hi:int -> int list
 (** Ranks owning any row of [lo, hi). *)
 
+val remap_rank : t -> dead:int -> survivors:int list -> t
+(** Elastic remap after [dead] crashes: reroute every channel [dead]
+    owned round-robin over [survivors] (dead local channel [c] moves to
+    survivor [survivors.(c mod n)] at fresh local slot
+    [cpr + c / n]); live ranks keep their local indices under the grown
+    stride [cpr + ceil(cpr / n)].  Per-channel completion thresholds
+    (multiplicity included) transfer unchanged.  The result is always
+    dynamic and keeps the original rank count — the dead rank simply
+    owns no tiles.  Raises [Invalid_argument] on an empty, duplicated
+    or invalid survivor list. *)
+
+val remap_channels_per_rank : channels_per_rank:int -> survivors:int -> int
+(** The channels-per-rank stride of a remapped protocol — what
+    {!remap_rank} produces, exposed so program rewriters agree without
+    building a mapping. *)
+
 val pp : Format.formatter -> t -> unit

@@ -7,7 +7,23 @@
      makespan is the kernel time reported in benchmarks;
    - data (optional): [Copy] and [Compute] instructions additionally
      mutate the per-rank tensor memories, so the same schedule is
-     checked for numerical correctness against references. *)
+     checked for numerical correctness against references.
+
+   Crash-fault tolerance rides on three mechanisms layered over the
+   plain interpreter:
+   - a tile-completion *ledger*: one entry per task, marked done on
+     completion and checkpointing how many of its notifies were issued,
+     so after a crash the recovery coordinator knows exactly which
+     tiles are lost versus already delivered;
+   - liveness-aware execution: every instruction boundary (and every
+     return from a blocking operation) re-checks that the executing
+     rank is still alive and abandons the task otherwise — paired with
+     {!Channel.cancel_rank_waits} this guarantees a dead rank's workers
+     drain instead of parking forever;
+   - a failover coordinator hooked into the watchdog tick: on a crash
+     it validates the remapped protocol, re-registers rerouted channel
+     keys, marks the dead shard recovered, and replays only the lost
+     tiles round-robin on the survivors. *)
 
 open Tilelink_sim
 open Tilelink_machine
@@ -47,13 +63,14 @@ let cost_duration (spec : Spec.t) ~sms = function
   | Instr.Fixed_cost d -> d
   | Instr.Free -> 0.0
 
-let exec_wait channels ~rank:_ (target : Instr.signal_target) ~threshold =
+let exec_wait channels ~waiter (target : Instr.signal_target) ~threshold =
   match target with
   | Instr.Pc { rank; channel } ->
-    Channel.pc_wait channels ~rank ~channel ~threshold
+    Channel.pc_wait ~waiter channels ~rank ~channel ~threshold
   | Instr.Peer { src; dst; channel } ->
-    Channel.peer_wait channels ~src ~dst ~channel ~threshold ()
-  | Instr.Host { src; dst } -> Channel.host_wait channels ~src ~dst ~threshold
+    Channel.peer_wait ~waiter channels ~src ~dst ~channel ~threshold ()
+  | Instr.Host { src; dst } ->
+    Channel.host_wait ~waiter channels ~src ~dst ~threshold
 
 let exec_notify channels ~rank:_ (target : Instr.signal_target) ~amount =
   match target with
@@ -65,16 +82,55 @@ let exec_notify channels ~rank:_ (target : Instr.signal_target) ~amount =
 
 module Obs = Tilelink_obs
 
+(* ------------------------------------------------------------------ *)
+(* Tile-completion ledger                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One entry per task.  [le_notified] is the producer-side checkpoint:
+   how many of the task's Notify instructions were actually issued —
+   on replay those epochs are skipped so counters never overshoot.
+   [le_poisoned] marks a task whose execution was cut short (its rank
+   died mid-task, or one of its copies touched a dead shard). *)
+type ledger_entry = {
+  le_rank : int;
+  le_role : string;
+  le_label : string;
+  mutable le_notified : int;
+  mutable le_done : bool;
+  mutable le_poisoned : bool;
+}
+
+(* Raised inside instruction execution when the executing rank is found
+   dead (or a copy endpoint is unreachable); caught by the worker loop,
+   which poisons the ledger entry and either moves on (survivor rank,
+   one lost copy) or drains (the worker's own rank crashed). *)
+exception Abandoned
+
+(* Per-execution context threaded through the interpreter.  The
+   executing rank [ec_exec_rank] differs from the task's owning rank on
+   the replay path (a survivor executes the dead rank's task: data
+   semantics keep the owner, timing and trace attribution follow the
+   executor). *)
+type exec_ctx = {
+  ec_exec_rank : int;
+  ec_live : unit -> bool;
+  ec_force_copy : bool;  (* replay: transfers against recovered memory *)
+  ec_on_notify : unit -> unit;  (* ledger checkpoint hook *)
+}
+
+let check_live ctx = if not (ctx.ec_live ()) then raise Abandoned
+
 (* Execute one instruction on behalf of [rank], on a worker of a role
    bound to [lane].  [worker_sms] is how many SMs this worker stands
    for (1 for an SM worker, irrelevant for DMA/host).  [interference]
    multiplies compute durations when a fused kernel also runs
    communication on the same chip. *)
-let exec_instr cluster channels memory ~telemetry ~data ~rank ~lane
+let exec_instr cluster channels memory ~telemetry ~data ~rank ~ctx ~lane
     ~worker_sms ~comm_active ~pending_loads ~label instr =
   let spec = Cluster.spec cluster in
   let trace = Cluster.trace cluster in
   let now () = Cluster.now cluster in
+  check_live ctx;
   match instr with
   | Instr.Load { access } ->
     (* Loads issue asynchronously (cp.async / TMA): they complete
@@ -88,7 +144,9 @@ let exec_instr cluster channels memory ~telemetry ~data ~rank ~lane
         :: List.filter (fun (_, ready) -> ready > t) !pending_loads
     end
   | Instr.Store _ -> ()
-  | Instr.Sleep d -> Process.wait d
+  | Instr.Sleep d ->
+    Process.wait d;
+    check_live ctx
   | Instr.Compute { label = clabel; cost; reads; action; _ } ->
     let ready =
       List.fold_left
@@ -112,11 +170,16 @@ let exec_instr cluster channels memory ~telemetry ~data ~rank ~lane
     let duration =
       cost_duration spec ~sms:worker_sms cost
       *. interference
-      *. Cluster.compute_scale cluster ~rank_id:rank
+      *. Cluster.compute_scale cluster ~rank_id:ctx.ec_exec_rank
     in
     let t0 = now () in
     if duration > 0.0 then Process.wait duration;
-    Trace.add trace ~rank ~lane ~label:clabel ~t0 ~t1:(now ());
+    (* A kernel that was mid-tile when its rank died produced nothing:
+       no trace span, no data mutation — the ledger marks the tile
+       lost and the coordinator replays it. *)
+    check_live ctx;
+    Trace.add trace ~rank:ctx.ec_exec_rank ~lane ~label:clabel ~t0
+      ~t1:(now ());
     if Obs.Telemetry.active telemetry then begin
       let m = Obs.Telemetry.metrics (Option.get telemetry) in
       Obs.Metrics.inc m "tiles.compute";
@@ -128,11 +191,20 @@ let exec_instr cluster channels memory ~telemetry ~data ~rank ~lane
   | Instr.Copy { label = clabel; src; dst; bytes; action } ->
     let src_rank = resolve_rank ~self:rank src.Instr.mem_rank in
     let dst_rank = resolve_rank ~self:rank dst.Instr.mem_rank in
+    (* Fail fast on a dead endpoint: the copy moves nothing, charges
+       nothing, and poisons the task so the coordinator replays it
+       against recovered memory.  The replay path forces transfers. *)
+    if
+      (not ctx.ec_force_copy)
+      && src_rank <> dst_rank
+      && not (Cluster.transfer_ok cluster ~src:src_rank ~dst:dst_rank)
+    then raise Abandoned;
     let t0 = now () in
     (* Copy-engine stall injection: charged before the copy admits, so
        it shows up inside the traced copy span. *)
-    let stall = Cluster.copy_stall_us cluster ~rank_id:rank in
+    let stall = Cluster.copy_stall_us cluster ~rank_id:ctx.ec_exec_rank in
     if stall > 0.0 then Process.wait stall;
+    check_live ctx;
     if src_rank = dst_rank then begin
       (* Local move: a round trip through HBM at full bandwidth share —
          bulk copies saturate HBM regardless of the issuing unit. *)
@@ -142,8 +214,12 @@ let exec_instr cluster channels memory ~telemetry ~data ~rank ~lane
       in
       if duration > 0.0 then Process.wait duration
     end
-    else Cluster.transfer cluster ~src:src_rank ~dst:dst_rank ~bytes;
-    Trace.add trace ~rank ~lane ~label:clabel ~t0 ~t1:(now ());
+    else
+      Cluster.transfer ~force:ctx.ec_force_copy cluster ~src:src_rank
+        ~dst:dst_rank ~bytes;
+    check_live ctx;
+    Trace.add trace ~rank:ctx.ec_exec_rank ~lane ~label:clabel ~t0
+      ~t1:(now ());
     if Obs.Telemetry.active telemetry then begin
       let tele = Option.get telemetry in
       let m = Obs.Telemetry.metrics tele in
@@ -172,15 +248,23 @@ let exec_instr cluster channels memory ~telemetry ~data ~rank ~lane
     let t0 = now () in
     if spec.Spec.overheads.signal_wait > 0.0 then
       Process.wait spec.Spec.overheads.signal_wait;
-    exec_wait channels ~rank target ~threshold;
+    exec_wait channels ~waiter:ctx.ec_exec_rank target ~threshold;
+    (* A force-woken wait (the rank died while parked) returns with its
+       threshold unsatisfied — abandon before touching anything. *)
+    check_live ctx;
     let t1 = now () in
     if t1 > t0 then
-      Trace.add trace ~rank ~lane:Trace.Wait ~label ~t0 ~t1
+      Trace.add trace ~rank:ctx.ec_exec_rank ~lane:Trace.Wait ~label ~t0 ~t1
   | Instr.Notify { target; amount; _ } ->
     (* Release atomic + memory fence before the signal is visible. *)
     if spec.Spec.overheads.signal_notify > 0.0 then
       Process.wait spec.Spec.overheads.signal_notify;
-    exec_notify channels ~rank target ~amount
+    (* Dying inside the fence means the signal never became visible. *)
+    check_live ctx;
+    exec_notify channels ~rank target ~amount;
+    (* Producer-side checkpoint: this epoch is now delivered (or at
+       least issued); replay will skip it. *)
+    ctx.ec_on_notify ()
 
 (* A task's leading waits/loads execute before the worker occupies an
    execution unit: a CTA is only scheduled once its dependencies are
@@ -197,12 +281,27 @@ let split_leading_waits instrs =
 (* A worker repeatedly takes the next task from the role's shared
    queue, acquiring one unit of [unit_pool] per task; wave scheduling
    (ceil(tiles / workers) waves) and dynamic sharing of idle units
-   across roles both emerge. *)
-let worker_body cluster channels memory ~telemetry ~data ~rank ~lane
+   across roles both emerge.  Each queue item carries its optional
+   ledger entry; a task abandoned mid-flight poisons its entry, and the
+   worker drains if its own rank is the casualty. *)
+let worker_body cluster channels memory ~telemetry ~data ~rank ~live ~lane
     ~worker_sms ~comm_active ~unit_pool queue () =
   let pending_loads = ref [] in
+  let current : ledger_entry option ref = ref None in
+  let ctx =
+    {
+      ec_exec_rank = rank;
+      ec_live = live;
+      ec_force_copy = false;
+      ec_on_notify =
+        (fun () ->
+          match !current with
+          | Some e -> e.le_notified <- e.le_notified + 1
+          | None -> ());
+    }
+  in
   let exec =
-    exec_instr cluster channels memory ~telemetry ~data ~rank ~lane
+    exec_instr cluster channels memory ~telemetry ~data ~rank ~ctx ~lane
       ~worker_sms ~comm_active ~pending_loads
   in
   let rec loop () =
@@ -214,15 +313,27 @@ let worker_body cluster channels memory ~telemetry ~data ~rank ~lane
         Some task
     with
     | None -> ()
-    | Some (task : Program.task) ->
+    | Some ((task : Program.task), entry) -> (
+      current := entry;
       let label = task.Program.label in
       let leading, body = split_leading_waits task.Program.instrs in
-      List.iter (exec ~label) leading;
-      (match unit_pool with
-      | None -> List.iter (exec ~label) body
-      | Some pool ->
-        Resource.use pool 1 (fun () -> List.iter (exec ~label) body));
-      loop ()
+      match
+        List.iter (exec ~label) leading;
+        (match unit_pool with
+        | None -> List.iter (exec ~label) body
+        | Some pool ->
+          Resource.use pool 1 (fun () -> List.iter (exec ~label) body))
+      with
+      | () ->
+        Option.iter (fun e -> e.le_done <- true) entry;
+        current := None;
+        loop ()
+      | exception Abandoned ->
+        Option.iter (fun e -> e.le_poisoned <- true) entry;
+        current := None;
+        (* A survivor that lost one copy to a dead shard keeps going —
+           only its own rank dying drains the worker. *)
+        if live () then loop ())
   in
   loop ()
 
@@ -230,8 +341,8 @@ let is_comm_lane = function
   | Trace.Comm_sm | Trace.Dma | Trace.Host | Trace.Link -> true
   | Trace.Compute_sm | Trace.Wait -> false
 
-let run_role cluster channels memory ~telemetry ~data ~rank ~comm_active
-    (role : Program.role) () =
+let run_role cluster channels memory ~telemetry ~data ~rank ~live
+    ~comm_active ~tracked (role : Program.role) () =
   let spec = Cluster.spec cluster in
   let cluster_rank = Cluster.rank cluster rank in
   (* Kernel launch latency before the role's work becomes visible. *)
@@ -241,13 +352,13 @@ let run_role cluster channels memory ~telemetry ~data ~rank ~comm_active
   Fun.protect ~finally:(fun () -> if comm_role then decr comm_active)
   @@ fun () ->
   let run_workers count unit_pool =
-    let queue = ref role.Program.tasks in
+    let queue = ref tracked in
     let join =
       Process.spawn_all (Cluster.engine cluster)
         (List.init count (fun _ ->
-             worker_body cluster channels memory ~telemetry ~data ~rank
-               ~lane:role.Program.lane ~worker_sms:1 ~comm_active
-               ~unit_pool queue))
+             worker_body cluster channels memory ~telemetry ~data ~rank ~live
+               ~lane:role.Program.lane ~worker_sms:1 ~comm_active ~unit_pool
+               queue))
     in
     Process.Join.wait join
   in
@@ -257,8 +368,8 @@ let run_role cluster channels memory ~telemetry ~data ~rank ~comm_active
   | Program.Dma_engines count ->
     run_workers count (Some cluster_rank.Cluster.dma)
   | Program.Host_stream ->
-    let queue = ref role.Program.tasks in
-    worker_body cluster channels memory ~telemetry ~data ~rank
+    let queue = ref tracked in
+    worker_body cluster channels memory ~telemetry ~data ~rank ~live
       ~lane:role.Program.lane ~worker_sms:1 ~comm_active ~unit_pool:None
       queue ()
 
@@ -300,8 +411,73 @@ let enrich_deadlock channels ~telemetry msg =
     if journal_lines = [] then []
     else "recent journal events:" :: journal_lines)
 
-let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) cluster
-    (program : Program.t) =
+(* ------------------------------------------------------------------ *)
+(* Failover coordinator                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Lost entries of a crash: the dead rank's unfinished tasks plus any
+   survivor task poisoned by a copy into the dead shard.  Tasks still
+   in flight on live ranks are neither — they complete normally. *)
+let lost_entries ledger ~dead =
+  List.filter
+    (fun e ->
+      (not e.le_done) && (e.le_rank = dead || e.le_poisoned))
+    ledger
+
+(* The structural no-survivor diagnostic: name the first channel whose
+   producer died with undelivered epochs — the unrecoverable channel. *)
+let no_survivor_stall ~dead ~lost ~t_crash ~now channels program =
+  let first_notify_key =
+    List.fold_left
+      (fun acc (e : ledger_entry) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          Program.fold_tasks program ~init:None
+            ~f:(fun acc ~rank (role : Program.role) (task : Program.task) ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                if
+                  rank = e.le_rank
+                  && role.Program.role_name = e.le_role
+                  && task.Program.label = e.le_label
+                then
+                  List.find_map
+                    (function
+                      | Instr.Notify { target; _ } ->
+                        Some (Instr.key_of_target target)
+                      | _ -> None)
+                    task.Program.instrs
+                else acc))
+      None lost
+  in
+  let key =
+    Option.value ~default:(Printf.sprintf "pc[%d][0]" dead) first_notify_key
+  in
+  let kind, owner, chan = Chaos.parse_key key in
+  let value = Option.value ~default:0 (Channel.key_value channels ~key) in
+  let intended = Channel.intended_value channels ~key in
+  {
+    Chaos.stall_key = key;
+    stall_kind = kind;
+    stall_owner = owner;
+    stall_channel = chan;
+    stall_rank = dead;
+    stall_threshold = intended + 1;
+    stall_value = value;
+    stall_intended = intended;
+    stall_since = t_crash;
+    stall_at = now;
+    stall_waiters =
+      List.map
+        (fun (pw : Channel.pending_wait) ->
+          (pw.Channel.pw_key, pw.Channel.pw_rank, pw.Channel.pw_threshold))
+        (Channel.pending_waits channels);
+  }
+
+let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) ?rebuild
+    cluster (program : Program.t) =
   (match Program.validate program with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Runtime.run: invalid program: " ^ msg));
@@ -335,27 +511,281 @@ let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) cluster
         Engine.schedule (Cluster.engine cluster) ~delay thunk)
       ()
   in
+  let engine = Cluster.engine cluster in
   let start = Cluster.now cluster in
+  let journal_ev ev =
+    if Obs.Telemetry.active telemetry then
+      Obs.Journal.record
+        (Obs.Telemetry.journal (Option.get telemetry))
+        ~t:(Cluster.now cluster) ev
+  in
+  let metrics_set name v =
+    if Obs.Telemetry.active telemetry then
+      Obs.Metrics.set_gauge
+        (Obs.Telemetry.metrics (Option.get telemetry))
+        name v
+  in
+  let metrics_observe name v =
+    if Obs.Telemetry.active telemetry then
+      Obs.Metrics.observe
+        (Obs.Telemetry.metrics (Option.get telemetry))
+        name v
+  in
+  (* Crash faults, ledger and failover arming. *)
+  let crashes =
+    match chaos with
+    | Some { Chaos.c_schedule = Some sched; _ } -> Chaos.crashes sched
+    | _ -> []
+  in
+  let failover_armed =
+    crashes <> []
+    &&
+    match chaos with
+    | Some { Chaos.c_watchdog = Some wd; _ } ->
+      wd.Chaos.policy = Chaos.Failover
+    | _ -> false
+  in
+  let recovery =
+    match chaos with
+    | Some control -> Some control.Chaos.c_recovery
+    | None -> None
+  in
+  (* Ledger: one entry per task, built in deterministic rank-major
+     order before anything runs.  [tracked_for rank role] hands each
+     role its (task, entry) queue.  Entries exist only when a crash is
+     planned — plain runs keep the zero-bookkeeping path. *)
+  let ledger : ledger_entry list ref = ref [] in
+  let tracked_tbl : (int * string, (Program.task * ledger_entry option) list)
+      Hashtbl.t =
+    Hashtbl.create 16
+  in
+  Array.iteri
+    (fun rank plan ->
+      List.iter
+        (fun (role : Program.role) ->
+          let tracked =
+            List.map
+              (fun (task : Program.task) ->
+                if crashes = [] then (task, None)
+                else begin
+                  let e =
+                    {
+                      le_rank = rank;
+                      le_role = role.Program.role_name;
+                      le_label = task.Program.label;
+                      le_notified = 0;
+                      le_done = false;
+                      le_poisoned = false;
+                    }
+                  in
+                  ledger := e :: !ledger;
+                  (task, Some e)
+                end)
+              role.Program.tasks
+          in
+          Hashtbl.replace tracked_tbl (rank, role.Program.role_name) tracked)
+        plan)
+    (Program.plans program);
+  let ledger = List.rev !ledger in
+  (match recovery with
+  | Some r when crashes <> [] -> r.Chaos.total_tiles <- List.length ledger
+  | _ -> ());
+  (* Liveness: once a rank has crashed its in-flight kernel state is
+     gone for good — a transient restart makes the rank *reachable*
+     again but does not resurrect the work, so [live] stays false for
+     the rest of the run and the coordinator replays the loss. *)
+  let crashed_once : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let live_for rank () = not (Hashtbl.mem crashed_once rank) in
+  (* Crashes pending failover handling, in kill order. *)
+  let pending_crashes : (int * float) Queue.t = Queue.create () in
+  List.iter
+    (fun (crash_rank, { Chaos.cr_at; cr_until }) ->
+      Engine.schedule engine ~delay:cr_at (fun () ->
+          if not (Hashtbl.mem crashed_once crash_rank) then begin
+            Hashtbl.replace crashed_once crash_rank ();
+            Cluster.kill_rank cluster ~rank_id:crash_rank;
+            Queue.add (crash_rank, Cluster.now cluster) pending_crashes;
+            journal_ev
+              (Obs.Journal.Rank_crashed
+                 { rank = crash_rank; transient = cr_until <> None });
+            (* Force-wake the dead rank's parked workers so they drain
+               instead of holding the engine live forever. *)
+            ignore (Channel.cancel_rank_waits channels ~rank:crash_rank)
+          end);
+      Option.iter
+        (fun until ->
+          Engine.schedule engine ~delay:until (fun () ->
+              Cluster.revive_rank cluster ~rank_id:crash_rank))
+        cr_until)
+    crashes;
   Array.iteri
     (fun rank plan ->
       (* Tracks how many communication roles are live on this rank;
          compute tiles pay the interference factor while it is > 0. *)
       let comm_active = ref 0 in
       List.iter
-        (fun role ->
+        (fun (role : Program.role) ->
+          let tracked =
+            Hashtbl.find tracked_tbl (rank, role.Program.role_name)
+          in
           Process.spawn (Cluster.engine cluster)
             (run_role cluster channels memory ~telemetry ~data ~rank
-               ~comm_active role))
+               ~live:(live_for rank) ~comm_active ~tracked role))
         plan)
     (Program.plans program);
-  let engine = Cluster.engine cluster in
+  (* The failover coordinator: runs at the top of every watchdog tick.
+     For each unhandled crash it validates the remapped protocol,
+     aliases the rerouted channel keys, marks the dead shard recovered,
+     snapshots the lost tiles, and replays them round-robin over the
+     survivors — all atomically from the discrete-event engine's point
+     of view except the replay itself, which charges real time. *)
+  let failover_hook () =
+    while not (Queue.is_empty pending_crashes) do
+      let dead, t_crash = Queue.pop pending_crashes in
+      let now = Cluster.now cluster in
+      let lost = lost_entries ledger ~dead in
+      let survivors =
+        List.filter
+          (fun r -> not (Hashtbl.mem crashed_once r))
+          (List.init (Program.world_size program) Fun.id)
+      in
+      if survivors = [] then begin
+        let stall =
+          no_survivor_stall ~dead ~lost ~t_crash ~now channels program
+        in
+        (match recovery with
+        | Some r -> r.Chaos.stalls <- r.Chaos.stalls @ [ stall ]
+        | None -> ());
+        journal_ev
+          (Obs.Journal.Stall_detected
+             {
+               key = stall.Chaos.stall_key;
+               rank = stall.Chaos.stall_rank;
+               threshold = stall.Chaos.stall_threshold;
+               value = stall.Chaos.stall_value;
+             });
+        raise (Chaos.Stall stall)
+      end;
+      (* Re-validate the remapped protocol before touching anything:
+         the rewritten program must still be statically complete. *)
+      let remapped = Fault.remap_program program ~dead ~survivors in
+      Analyzer.check_exn remapped;
+      (* Alias each rerouted key to the counter the blocked consumers
+         are already parked on, so force-signals and watchdog retries
+         under the new names land on the right counter. *)
+      let cpr = program.Program.pc_channels in
+      let n = List.length survivors in
+      let sv = Array.of_list survivors in
+      for c = 0 to cpr - 1 do
+        Channel.register_remap channels
+          ~key:(Printf.sprintf "pc[%d][%d]" dead c)
+          ~alias:(Printf.sprintf "pc[%d][%d]" sv.(c mod n) (cpr + (c / n)))
+      done;
+      (* The survivors re-host the dead shard: transfers touching it
+         succeed again, reading recovered memory. *)
+      Cluster.mark_recovered cluster ~rank_id:dead;
+      journal_ev (Obs.Journal.Remapped { rank = dead; tiles = List.length lost });
+      (match recovery with
+      | Some r ->
+        r.Chaos.remapped_tiles <- r.Chaos.remapped_tiles + List.length lost
+      | None -> ());
+      metrics_set "recovery.remapped_tiles"
+        (float_of_int (List.length lost));
+      (* Replay only the lost tiles, from a *fresh* build of the
+         program when the caller provides one: task closures can hold
+         accumulator state (flash-attention online softmax), so
+         re-running a partially executed closure would double-count. *)
+      let source = match rebuild with Some f -> f () | None -> program in
+      let fresh_task : (int * string * string, Program.task) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      Program.iter_tasks source ~f:(fun ~rank role task ->
+          let key = (rank, role.Program.role_name, task.Program.label) in
+          if not (Hashtbl.mem fresh_task key) then
+            Hashtbl.replace fresh_task key task);
+      (* Group lost entries by (rank, role) preserving ledger order;
+         one replay process per group keeps intra-role task order. *)
+      let groups : ((int * string) * ledger_entry list) list =
+        List.fold_left
+          (fun acc e ->
+            let key = (e.le_rank, e.le_role) in
+            match List.assoc_opt key acc with
+            | None -> acc @ [ (key, [ e ]) ]
+            | Some _ ->
+              List.map
+                (fun (k, v) -> if k = key then (k, v @ [ e ]) else (k, v))
+                acc)
+          [] lost
+      in
+      let replayed = ref 0 in
+      let next_exec = ref 0 in
+      let replay_bodies =
+        List.map
+          (fun (((owner_rank : int), _role), entries) () ->
+            List.iter
+              (fun (e : ledger_entry) ->
+                match
+                  Hashtbl.find_opt fresh_task (e.le_rank, e.le_role, e.le_label)
+                with
+                | None -> ()
+                | Some task ->
+                  (* Round-robin the executing survivor per tile. *)
+                  let exec_rank = sv.(!next_exec mod n) in
+                  incr next_exec;
+                  let skip = ref e.le_notified in
+                  let ctx =
+                    {
+                      ec_exec_rank = exec_rank;
+                      ec_live = (fun () -> true);
+                      ec_force_copy = true;
+                      ec_on_notify = (fun () -> ());
+                    }
+                  in
+                  let pending_loads = ref [] in
+                  let comm_active = ref 0 in
+                  let exec =
+                    exec_instr cluster channels memory ~telemetry ~data
+                      ~rank:owner_rank ~ctx ~lane:Trace.Comm_sm ~worker_sms:1
+                      ~comm_active ~pending_loads
+                      ~label:(task.Program.label ^ "+replay")
+                  in
+                  List.iter
+                    (fun instr ->
+                      match instr with
+                      | Instr.Notify _ when !skip > 0 ->
+                        (* Checkpointed epoch: already delivered before
+                           the crash; re-issuing would overshoot the
+                           counter past epochs other waits rely on. *)
+                        decr skip
+                      | instr -> exec instr)
+                    task.Program.instrs;
+                  e.le_done <- true;
+                  incr replayed)
+              entries)
+          groups
+      in
+      let join = Process.spawn_all engine replay_bodies in
+      Process.Join.wait join;
+      let latency = Cluster.now cluster -. t_crash in
+      (match recovery with
+      | Some r ->
+        r.Chaos.failed_over <- r.Chaos.failed_over @ [ (dead, latency) ];
+        r.Chaos.replayed_tiles <- r.Chaos.replayed_tiles + !replayed
+      | None -> ());
+      metrics_set "recovery.replayed_tiles" (float_of_int !replayed);
+      metrics_observe "recovery.latency_us" latency;
+      journal_ev
+        (Obs.Journal.Resumed { rank = dead; replayed = !replayed; latency })
+    done
+  in
   (* The watchdog is just another sim process; while it lives, the
      event queue never drains, so a genuine hang surfaces as a
      structured Chaos.Stall rather than Engine.Deadlock. *)
   (match chaos with
   | Some ({ Chaos.c_watchdog = Some wd; _ } as control) ->
+    let hooks = if failover_armed then Some failover_hook else None in
     Process.spawn engine
-      (Chaos.watchdog_body ~engine ~channels ~telemetry ~control ~wd)
+      (Chaos.watchdog_body ?hooks ~engine ~channels ~telemetry ~control ~wd)
   | _ -> ());
   (try Engine.run engine with
    | Engine.Deadlock msg ->

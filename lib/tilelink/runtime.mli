@@ -12,6 +12,7 @@ val run :
   ?telemetry:Tilelink_obs.Telemetry.t ->
   ?data:bool -> ?memory:Memory.t -> ?chaos:Chaos.control ->
   ?analyze:bool ->
+  ?rebuild:(unit -> Program.t) ->
   Tilelink_machine.Cluster.t -> Program.t -> result
 (** Execute the program to completion.  With [~analyze:true] (default
     false), the static protocol analyzer pre-flights the program and a
@@ -31,6 +32,23 @@ val run :
     policy, and hangs surface as {!Chaos.Stall} instead of
     [Engine.Deadlock], with actions recorded in
     [chaos.Chaos.c_recovery].
+
+    When the chaos schedule plans rank crashes, the runtime keeps a
+    tile-completion ledger (one entry per task, producers checkpoint
+    issued notifies) and kills the scheduled ranks mid-run: their
+    parked waits are force-released, their workers drain, and
+    transfers touching the dead shard fail fast.  Under the
+    {!Chaos.Failover} policy a recovery coordinator hooked into the
+    watchdog validates the remapped protocol
+    ({!Fault.remap_program} + {!Analyzer.check_exn}), aliases the
+    rerouted channel keys, marks the shard recovered, and replays only
+    the ledger's lost tiles round-robin over the survivors — recorded
+    as [failed_over] / [remapped_tiles] / [replayed_tiles] in the
+    recovery.  A crash with no survivors raises a structured
+    {!Chaos.Stall} naming the unrecoverable channel, never a hang.
+    [rebuild] supplies a fresh build of the program for replay — pass
+    it whenever task closures hold accumulator state (flash-attention
+    online softmax) that a partial first execution already advanced.
 
     Raises on invalid programs; a schedule with missing signals and no
     watchdog raises {!Tilelink_sim.Engine.Deadlock} whose message now

@@ -311,6 +311,113 @@ let test_check_against_mapping_layout_guard () =
            ~mapping))
 
 (* ------------------------------------------------------------------ *)
+(* Elastic remap cross-check                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A protocol driven entirely by a mapping: every local channel of
+   every rank gets the mapping's registered number of notifies and a
+   consumer waiting for exactly that threshold — so the pre-remap
+   program cross-checks clean by construction, and any disagreement
+   between how the mapping and the program were remapped surfaces as a
+   Mapping_mismatch. *)
+let full_mapping_program ~mapping =
+  let world = Mapping.ranks mapping in
+  let cpr = Mapping.channels_per_rank mapping in
+  let plan rank =
+    let channels = List.init cpr Fun.id in
+    [
+      role ~name:"producer"
+        [
+          task "p"
+            (List.concat_map
+               (fun local ->
+                 let expected =
+                   Mapping.expected mapping
+                     ~channel:(Mapping.global_channel mapping ~rank ~local)
+                 in
+                 List.init expected (fun _ ->
+                     notify (pc ~rank ~channel:local)))
+               channels);
+        ];
+      role ~name:"consumer"
+        [
+          task "c"
+            (List.filter_map
+               (fun local ->
+                 let expected =
+                   Mapping.expected mapping
+                     ~channel:(Mapping.global_channel mapping ~rank ~local)
+                 in
+                 if expected = 0 then None
+                 else Some (wait ~threshold:expected (pc ~rank ~channel:local)))
+               channels);
+        ];
+    ]
+  in
+  Program.create ~name:"full-mapped" ~world_size:world ~pc_channels:cpr
+    ~peer_channels:1
+    (Array.init world plan)
+
+(* Remap mapping and program with the same (dead, survivors) and
+   re-validate: zero violations, for mapping shapes mirroring the three
+   chaos workloads (mlp 4x2, moe 4x4, attention 2x1). *)
+let test_remap_cross_checks_clean () =
+  List.iter
+    (fun (name, mapping, dead, survivors) ->
+      let program = full_mapping_program ~mapping in
+      Alcotest.(check int)
+        (name ^ ": pre-remap clean")
+        0
+        (List.length (Analyzer.check_against_mapping program ~mapping));
+      let mapping' = Mapping.remap_rank mapping ~dead ~survivors in
+      let program' = Fault.remap_program program ~dead ~survivors in
+      Alcotest.(check int)
+        (name ^ ": post-remap clean")
+        0
+        (List.length
+           (Analyzer.check_against_mapping program' ~mapping:mapping')))
+    [
+      ( "mlp-style",
+        Mapping.static ~extent:16 ~ranks:4 ~channels_per_rank:2 ~tile:2 (),
+        2,
+        [ 0; 1; 3 ] );
+      ( "moe-style",
+        Mapping.static ~extent:32 ~ranks:4 ~channels_per_rank:4 ~tile:2 (),
+        1,
+        [ 0; 2; 3 ] );
+      ( "attention-style",
+        Mapping.static ~extent:16 ~ranks:2 ~channels_per_rank:1 ~tile:8 (),
+        0,
+        [ 1 ] );
+    ]
+
+(* A broken remap — the program's survivor list silently misses a rank
+   the mapping rerouted to — must be flagged with structured
+   Mapping_mismatch diagnostics, not pass or crash.  cpr = 4 is chosen
+   so both survivor counts grow the stride to the same 6 (keeping the
+   layouts comparable) while the round-robin genuinely diverges: the
+   program parks rerouted tiles on fresh slots the mapping never
+   registered. *)
+let test_remap_missing_survivor_flagged () =
+  let mapping =
+    Mapping.static ~extent:32 ~ranks:4 ~channels_per_rank:4 ~tile:2 ()
+  in
+  let program = full_mapping_program ~mapping in
+  let mapping' = Mapping.remap_rank mapping ~dead:0 ~survivors:[ 1; 2; 3 ] in
+  let program' = Fault.remap_program program ~dead:0 ~survivors:[ 1; 2 ] in
+  match Analyzer.check_against_mapping program' ~mapping:mapping' with
+  | [] -> Alcotest.fail "mismatched survivor lists not flagged"
+  | diags ->
+    List.iter
+      (fun d ->
+        match d.Analyzer.kind with
+        | Analyzer.Mapping_mismatch { expected; actual } ->
+          Alcotest.(check bool) "actual exceeds registered tiles" true
+            (actual > expected)
+        | _ -> Alcotest.fail "expected Mapping_mismatch diagnostics")
+      diags
+
+(* ------------------------------------------------------------------ *)
 (* Wiring: Runtime pre-flight and Tune skip accounting                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -447,6 +554,10 @@ let () =
           Alcotest.test_case "cross-check" `Quick test_check_against_mapping;
           Alcotest.test_case "layout guard" `Quick
             test_check_against_mapping_layout_guard;
+          Alcotest.test_case "remap cross-checks clean" `Quick
+            test_remap_cross_checks_clean;
+          Alcotest.test_case "missing survivor flagged" `Quick
+            test_remap_missing_survivor_flagged;
         ] );
       ( "wiring",
         [

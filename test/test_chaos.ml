@@ -184,6 +184,111 @@ let test_degrade_fallback workload () =
     t.Harness.numerics_ok
 
 (* ------------------------------------------------------------------ *)
+(* Crash failover                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One forced permanent crash mid-kernel: the trial must complete as
+   Failed_over with bit-identical numerics, and the ledger must show a
+   genuine partial replay — strictly fewer tiles re-executed than the
+   program holds (the checkpointed majority was not redone). *)
+let test_failover_recovers workload () =
+  let t = Harness.run_trial ~crash_ranks:1 ~workload ~seed:42 ~index:0 () in
+  Alcotest.(check bool) "classified failed_over" true
+    (t.Harness.classification = Harness.Failed_over);
+  Alcotest.(check bool) "numerics identical to fault-free run" true
+    t.Harness.numerics_ok;
+  Alcotest.(check bool) "one rank crashed" true
+    (List.length t.Harness.failed_over_ranks = 1);
+  Alcotest.(check bool) "recovery latency positive" true
+    (List.for_all (fun (_, l) -> l > 0.0) t.Harness.failed_over_ranks);
+  Alcotest.(check bool) "some tiles replayed" true
+    (t.Harness.replayed_tiles > 0);
+  Alcotest.(check bool) "replay is partial (ledger checkpoint held)" true
+    (t.Harness.replayed_tiles < t.Harness.total_tiles);
+  Alcotest.(check int) "remapped = replayed" t.Harness.remapped_tiles
+    t.Harness.replayed_tiles;
+  Alcotest.(check bool) "crash recorded in the injection log" true
+    (List.exists (fun (kind, _) -> kind = "rank_crash") t.Harness.faults)
+
+(* Crashing every rank leaves nobody to fail over to: the coordinator
+   must triage this as a structural stall naming the unrecoverable
+   channel — never a hang or a bare deadlock. *)
+let test_no_survivors_structural_stall () =
+  let t =
+    Harness.run_trial ~crash_ranks:2 ~workload:Harness.Attention_ag ~seed:42
+      ~index:0 ()
+  in
+  Alcotest.(check bool) "classified stalled" true
+    (t.Harness.classification = Harness.Stalled);
+  match t.Harness.stall with
+  | None -> Alcotest.fail "no-survivor crash carries no stall info"
+  | Some s ->
+    Alcotest.(check bool) "stall names a channel key" true
+      (s.Harness.si_key <> "");
+    let kind, owner, _ = Chaos.parse_key s.Harness.si_key in
+    Alcotest.(check string) "kind parsed" kind s.Harness.si_kind;
+    Alcotest.(check int) "owner parsed" owner s.Harness.si_owner
+
+(* Teardown regression: a sweep whose early trial stalls (poisoned
+   cluster state, watchdog mid-flight) must leave later trials exactly
+   as they would be when run fresh in isolation. *)
+let test_stalled_trial_does_not_leak () =
+  let spec = drop_spec in
+  let stalled_index, _ = find_recovered_trial Harness.Mlp_ag_gemm ~seed:101 in
+  let sweep =
+    Harness.run_trials ~spec ~retry:false ~policy:Chaos.Fail_stop
+      ~workload:Harness.Mlp_ag_gemm ~seed:101
+      ~trials:(stalled_index + 2)
+      ()
+  in
+  Alcotest.(check bool) "sweep contains a stalled trial" true
+    (sweep.Harness.s_stalled > 0);
+  let fresh =
+    Harness.run_trial ~spec ~retry:false ~policy:Chaos.Fail_stop
+      ~workload:Harness.Mlp_ag_gemm ~seed:101 ~index:(stalled_index + 1) ()
+  in
+  let in_sweep =
+    List.nth sweep.Harness.s_trials (stalled_index + 1)
+  in
+  Alcotest.(check string) "post-stall trial identical to a fresh run"
+    (Harness.Obs.Json.to_string ~indent:true (Harness.trial_to_json fresh))
+    (Harness.Obs.Json.to_string ~indent:true (Harness.trial_to_json in_sweep))
+
+(* Same (seed, crash spec) must reproduce the summary JSON byte for
+   byte, crashes included. *)
+let prop_crash_summary_deterministic =
+  QCheck.Test.make ~name:"crash trials: summary JSON reproducible" ~count:3
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let run () =
+        Harness.summary_to_string
+          (Harness.run_trials ~crash_ranks:1 ~workload:Harness.Mlp_ag_gemm
+             ~seed ~trials:2 ())
+      in
+      run () = run ())
+
+(* Crash-free summaries must not even mention failover — the JSON stays
+   byte-identical to pre-failover output, protecting the --check
+   contract of existing seeds. *)
+let test_crash_free_summary_unchanged () =
+  let json =
+    Harness.summary_to_string
+      (Harness.run_trials ~workload:Harness.Mlp_ag_gemm ~seed:42 ~trials:3 ())
+  in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length json
+      && (String.sub json i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "no failed_over key" false (contains "failed_over");
+  Alcotest.(check bool) "no failover_latency_us key" false
+    (contains "failover_latency_us");
+  Alcotest.(check bool) "no total_tiles key" false (contains "total_tiles")
+
+(* ------------------------------------------------------------------ *)
 (* Summary determinism                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -200,8 +305,8 @@ let test_summary_counts () =
       ~trials:4 ()
   in
   Alcotest.(check int) "classes partition the trials" 4
-    (s.Harness.s_clean + s.Harness.s_recovered + s.Harness.s_degraded
-   + s.Harness.s_stalled);
+    (s.Harness.s_clean + s.Harness.s_recovered + s.Harness.s_failed_over
+   + s.Harness.s_degraded + s.Harness.s_stalled);
   Alcotest.(check int) "trials retained in order" 4
     (List.length s.Harness.s_trials);
   List.iteri
@@ -362,6 +467,23 @@ let () =
             (test_degrade_fallback Harness.Mlp_ag_gemm);
           Alcotest.test_case "moe: degrade falls back" `Quick
             (test_degrade_fallback Harness.Moe_part2);
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "mlp: crash fails over, numerics intact" `Quick
+            (test_failover_recovers Harness.Mlp_ag_gemm);
+          Alcotest.test_case "moe: crash fails over, numerics intact" `Quick
+            (test_failover_recovers Harness.Moe_part2);
+          Alcotest.test_case "attention: crash fails over, numerics intact"
+            `Quick
+            (test_failover_recovers Harness.Attention_ag);
+          Alcotest.test_case "no survivors: structural stall" `Quick
+            test_no_survivors_structural_stall;
+          Alcotest.test_case "stalled trial does not leak state" `Quick
+            test_stalled_trial_does_not_leak;
+          qc prop_crash_summary_deterministic;
+          Alcotest.test_case "crash-free summary unchanged" `Quick
+            test_crash_free_summary_unchanged;
         ] );
       ( "summary",
         [
