@@ -11,7 +11,13 @@
      --no-cache   do not consult/update BENCH_cache.json in --json mode
      --cache F    use F instead of BENCH_cache.json
      --check      re-parse each written BENCH_*.json and fail unless the
-                  schema holds (non-empty rows, numeric fields)
+                  schema holds (non-empty rows, numeric fields); with
+                  --compare, also self-test the gate (self-diff must
+                  pass, a 2x-tolerance slowdown must trip)
+     --compare OLD NEW   regression gate: diff two BENCH_*.json files
+                  on makespan_us, exit 1 if any row regressed
+     --tolerance T  relative slowdown tolerated by --compare
+                  (default 0.05)
 
    Artifacts:
      table1  feature comparison (Table 1)
@@ -1065,6 +1071,78 @@ let write_bench_json cache name rows_of =
     (List.length rows) hits wall
 
 (* ------------------------------------------------------------------ *)
+(* --compare: regression gate between two BENCH_*.json artifacts       *)
+(* ------------------------------------------------------------------ *)
+
+(* Exit codes: 0 all rows within tolerance, 1 at least one regression,
+   2 unreadable input or a failed --check self-test.  The --check mode
+   validates the gate itself: diffing the baseline against itself must
+   pass, and diffing it against a copy slowed down by twice the
+   tolerance must trip. *)
+
+let load_rows path =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      Printf.eprintf "bench compare: cannot read %s: %s\n" path msg;
+      exit 2
+  in
+  match Obs.Regress.rows_of_string contents with
+  | Ok rows -> rows
+  | Error msg ->
+    Printf.eprintf "bench compare: %s: %s\n" path msg;
+    exit 2
+
+let run_compare ~tolerance ~baseline_path ~candidate_path =
+  let baseline = load_rows baseline_path in
+  let candidate = load_rows candidate_path in
+  let report = Obs.Regress.compare_rows ?tolerance ~baseline ~candidate () in
+  print_endline (Obs.Regress.report_to_string report);
+  if !check_artifacts then begin
+    let fail msg =
+      Printf.eprintf "bench compare check FAILED: %s\n" msg;
+      exit 2
+    in
+    if baseline = [] then fail "baseline has no rows, gate is vacuous";
+    let self =
+      Obs.Regress.compare_rows ?tolerance ~baseline ~candidate:baseline ()
+    in
+    if not (Obs.Regress.ok self) then
+      fail "self-diff of the baseline reported regressions";
+    let tol =
+      match tolerance with
+      | Some t -> t
+      | None -> Obs.Regress.default_tolerance
+    in
+    let perturbed =
+      List.map
+        (fun (r : Obs.Regress.row) ->
+          {
+            r with
+            Obs.Regress.r_makespan_us =
+              r.Obs.Regress.r_makespan_us *. (1.0 +. (2.0 *. tol));
+          })
+        baseline
+    in
+    let tripped =
+      Obs.Regress.compare_rows ?tolerance ~baseline ~candidate:perturbed ()
+    in
+    if Obs.Regress.ok tripped then
+      fail
+        (Printf.sprintf "a uniform +%.1f%% slowdown did not trip the gate"
+           (200.0 *. tol));
+    Printf.printf
+      "[compare check ok: self-diff clean, +%.1f%% perturbation flagged]\n"
+      (200.0 *. tol)
+  end;
+  exit (if Obs.Regress.ok report then 0 else 1)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1081,9 +1159,20 @@ let artifacts =
     ("micro", micro);
   ]
 
+let compare_paths : (string * string) option ref = ref None
+let compare_tolerance : float option ref = ref None
+
 let () =
   let rec parse acc = function
     | [] -> List.rev acc
+    | "--compare" :: old_f :: new_f :: rest ->
+      compare_paths := Some (old_f, new_f);
+      parse acc rest
+    | "--tolerance" :: t :: rest ->
+      (match float_of_string_opt t with
+      | Some x when x >= 0.0 -> compare_tolerance := Some x
+      | _ -> failwith (Printf.sprintf "bench: bad --tolerance %S" t));
+      parse acc rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with
       | Some j when j >= 1 -> jobs := j
@@ -1101,6 +1190,10 @@ let () =
     | a :: rest -> parse (a :: acc) rest
   in
   let args = parse [] (List.tl (Array.to_list Sys.argv)) in
+  (match !compare_paths with
+  | Some (baseline_path, candidate_path) ->
+    run_compare ~tolerance:!compare_tolerance ~baseline_path ~candidate_path
+  | None -> ());
   if !jobs > 1 then pool := Some (Exec.Pool.create ~domains:!jobs ());
   let json_mode = List.mem "--json" args in
   let names = List.filter (fun a -> a <> "--json") args in

@@ -278,7 +278,28 @@ let print_outcome label (o : _ Tune.outcome) =
     (List.length o.Tune.evaluated)
     o.Tune.skipped o.Tune.skipped_build o.Tune.skipped_invalid
     o.Tune.skipped_deadlock o.Tune.skipped_race o.Tune.cache_hits
-    o.Tune.cache_misses
+    o.Tune.cache_misses;
+  (* Why the winners win: schedules ranked by how much communication
+     they left exposed on the critical path (fresh evaluations carry
+     the measurement; pre-profiler cache hits may not). *)
+  let by_blame =
+    List.filter_map
+      (fun (e : _ Tune.evaluation) ->
+        Option.map (fun x -> (x, e)) e.Tune.exposed_comm_us)
+      o.Tune.evaluated
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  match by_blame with
+  | [] -> ()
+  | _ ->
+    Printf.printf "   exposed-communication blame (least first):\n";
+    List.iteri
+      (fun i (blame, (e : _ Tune.evaluation)) ->
+        if i < 5 then
+          Printf.printf "     %8.1f us exposed | %8.1f us total [%s]\n" blame
+            e.Tune.time
+            (Design_space.config_to_string e.Tune.config))
+      by_blame
 
 let autotune workload world m k n jobs cache_path =
   let pool = make_pool jobs in
@@ -801,59 +822,107 @@ let check_artifacts ~metrics_path ~perfetto_path =
   Printf.printf "profile check: ok (flow pairs, counter tracks, wait \
                  histograms all present)\n"
 
-let profile workload world m k n out_prefix check =
-  let telemetry = Obs.Telemetry.create () in
-  let cfg =
-    config ~world ~binding:Design_space.Comm_on_dma ~comm_tile:512
-      ~compute_tile:128 ~stages:2 ~ring:true
+let profile workload world m k n out_prefix check critical_path min_level =
+  (* One full instrumented run behind a closure: the critical-path
+     determinism check replays it and compares rendered output. *)
+  let run () =
+    let telemetry = Obs.Telemetry.create () in
+    let cfg =
+      config ~world ~binding:Design_space.Comm_on_dma ~comm_tile:512
+        ~compute_tile:128 ~stages:2 ~ring:true
+    in
+    let name, (cluster, result) =
+      match workload with
+      | `Mlp ->
+        ( "mlp",
+          Mlp.profile_ag_gemm ~config:cfg ~telemetry
+            { Mlp.m; k; n; world_size = world }
+            ~spec_gpu:spec )
+      | `Gemm_rs ->
+        ( "gemm-rs",
+          Mlp.profile_gemm_rs
+            ~config:
+              {
+                cfg with
+                Design_space.comm_order = Tile.Row_major;
+                compute_order = Tile.Ring_prev_first { segments = world };
+                comm_tile = (128, 2048);
+              }
+            ~telemetry
+            { Mlp.rs_m = m; rs_k = k; rs_n = n; rs_world = world }
+            ~spec_gpu:spec )
+      | `Moe ->
+        let moe =
+          {
+            Moe.tokens = m;
+            hidden = k;
+            intermediate = n;
+            experts = 32;
+            topk = 2;
+            world_size = world;
+          }
+        in
+        ( "moe",
+          Moe.profile_part1 ~telemetry moe (Moe.routing moe ~seed:17)
+            ~spec_gpu:spec )
+    in
+    (name, telemetry, cluster, result)
   in
-  let name, (cluster, result) =
-    match workload with
-    | `Mlp ->
-      ( "mlp",
-        Mlp.profile_ag_gemm ~config:cfg ~telemetry
-          { Mlp.m; k; n; world_size = world }
-          ~spec_gpu:spec )
-    | `Gemm_rs ->
-      ( "gemm-rs",
-        Mlp.profile_gemm_rs
-          ~config:
-            {
-              cfg with
-              Design_space.comm_order = Tile.Row_major;
-              compute_order = Tile.Ring_prev_first { segments = world };
-              comm_tile = (128, 2048);
-            }
-          ~telemetry
-          { Mlp.rs_m = m; rs_k = k; rs_n = n; rs_world = world }
-          ~spec_gpu:spec )
-    | `Moe ->
-      let moe =
-        {
-          Moe.tokens = m;
-          hidden = k;
-          intermediate = n;
-          experts = 32;
-          topk = 2;
-          world_size = world;
-        }
-      in
-      ( "moe",
-        Moe.profile_part1 ~telemetry moe (Moe.routing moe ~seed:17)
-          ~spec_gpu:spec )
-  in
+  let name, telemetry, cluster, result = run () in
   let metrics = Obs.Telemetry.metrics telemetry in
   let journal = Obs.Telemetry.journal telemetry in
+  let makespan = result.Tilelink_core.Runtime.makespan in
+  (* Causal profile of a finished run: span list -> attribution buckets
+     + extracted critical path.  Shared by the report, the artifacts,
+     and the --check validations. *)
+  let causal_profile ~makespan telemetry =
+    let spans = Obs.Span.spans (Obs.Telemetry.spans telemetry) in
+    ( Obs.Attribution.of_spans ~makespan spans,
+      Obs.Critpath.extract ~makespan spans )
+  in
+  let critpath_json (attribution, critpath) =
+    Obs.Json.to_string ~indent:true
+      (Obs.Json.Obj
+         [
+           ("workload", Obs.Json.Str name);
+           ("attribution", Obs.Attribution.to_json attribution);
+           ( "critical_path",
+             match critpath with
+             | None -> Obs.Json.Null
+             | Some cp -> Obs.Critpath.to_json cp );
+         ])
+  in
+  let attribution, critpath = causal_profile ~makespan telemetry in
   Printf.printf "%s: makespan %.1f us, %d signal notifies, journal %d \
                  events (%d dropped)\n"
-    name result.Tilelink_core.Runtime.makespan
-    result.Tilelink_core.Runtime.notifies (Obs.Journal.length journal)
+    name makespan result.Tilelink_core.Runtime.notifies
+    (Obs.Journal.length journal)
     (Obs.Journal.dropped journal);
   print_wait_report metrics;
   Printf.printf "per-rank overlap:\n";
   List.iter
     (fun r -> Format.printf "  %a@." Report.pp r)
     (Report.all_ranks (Cluster.trace cluster) ~world_size:world);
+  if critical_path then begin
+    print_string (Obs.Attribution.to_string attribution);
+    match critpath with
+    | None -> Printf.printf "critical path: (no spans recorded)\n"
+    | Some cp ->
+      Printf.printf "critical path: %d steps, tail slack %.1f us\n"
+        (List.length cp.Obs.Critpath.path)
+        cp.Obs.Critpath.tail_slack;
+      Printf.printf "  per-rank blame (charged us on the path):\n";
+      List.iter
+        (fun (rank, us) -> Printf.printf "    rank %-3d %10.1f\n" rank us)
+        (Obs.Critpath.rank_blame cp);
+      let keys = Obs.Critpath.key_blame cp in
+      if keys <> [] then begin
+        Printf.printf "  per-channel blame (blocked us on the path):\n";
+        List.iter
+          (fun (key, us) -> Printf.printf "    %-24s %10.1f\n" key us)
+          keys
+      end
+  end;
   let prefix =
     match out_prefix with Some p -> p | None -> "profile_" ^ name
   in
@@ -863,12 +932,53 @@ let profile workload world m k n out_prefix check =
   write_file metrics_path
     (Obs.Json.to_string ~indent:true (Obs.Metrics.to_json metrics));
   write_file prom_path (Obs.Metrics.to_prometheus metrics);
+  let extra =
+    match critpath with
+    | Some cp when critical_path -> Obs.Critpath.perfetto_events cp
+    | _ -> []
+  in
   write_file perfetto_path
-    (Obs.Perfetto.export_string ~trace:(Cluster.trace cluster) ~journal ());
+    (Obs.Perfetto.export_string ?min_level ~extra
+       ~trace:(Cluster.trace cluster) ~journal ());
   Printf.printf "wrote %s, %s, %s (open the last in \
                  https://ui.perfetto.dev)\n"
     metrics_path prom_path perfetto_path;
-  if check then check_artifacts ~metrics_path ~perfetto_path
+  if critical_path then begin
+    let critpath_path = prefix ^ ".critpath.json" in
+    write_file critpath_path (critpath_json (attribution, critpath));
+    Printf.printf "wrote %s (attribution + critical path)\n" critpath_path
+  end;
+  if check then begin
+    check_artifacts ~metrics_path ~perfetto_path;
+    if critical_path then begin
+      let fail msg =
+        Printf.eprintf "profile check FAILED: %s\n" msg;
+        exit 2
+      in
+      if not (Obs.Attribution.conserved attribution) then
+        fail
+          (Printf.sprintf
+             "attribution buckets sum to %.3f us but makespan is %.3f us"
+             (Obs.Attribution.bucket_sum attribution)
+             makespan);
+      (match critpath with
+      | None -> fail "no spans recorded despite telemetry being enabled"
+      | Some _ -> ());
+      (* Byte-determinism: a second identical run must render the same
+         attribution + critical-path JSON. *)
+      let _, telemetry2, _, result2 = run () in
+      let rendered2 =
+        critpath_json
+          (causal_profile ~makespan:result2.Tilelink_core.Runtime.makespan
+             telemetry2)
+      in
+      if critpath_json (attribution, critpath) <> rendered2 then
+        fail "critical-path output not byte-identical across two runs";
+      Printf.printf
+        "profile check: ok (attribution conserved, critical path \
+         deterministic)\n"
+    end
+  end
 
 let profile_cmd =
   let workload_arg =
@@ -894,7 +1004,38 @@ let profile_cmd =
       & info [ "check" ]
           ~doc:
             "Re-parse the written artifacts and fail unless flow pairs, \
-             counter tracks and wait histograms are present.")
+             counter tracks and wait histograms are present.  With \
+             $(b,--critical-path), additionally require attribution \
+             conservation and byte-identical output across two runs.")
+  in
+  let critical_path_arg =
+    Arg.(
+      value & flag
+      & info [ "critical-path" ]
+          ~doc:
+            "Extract the causal critical path: print the makespan \
+             attribution (conserved buckets + overlap efficiency), per-rank \
+             and per-channel blame, write PREFIX.critpath.json, and overlay \
+             the path as a flow-annotated track in the Perfetto export.")
+  in
+  let min_level_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("debug", Obs.Journal.Debug);
+                  ("info", Obs.Journal.Info);
+                  ("warn", Obs.Journal.Warn);
+                  ("error", Obs.Journal.Error);
+                ]))
+          None
+      & info [ "min-level" ] ~docv:"debug|info|warn|error"
+          ~doc:
+            "Severity floor for instant-event marks in the Perfetto export \
+             (flow arrows and counter tracks are always reconstructed from \
+             debug-level events).")
   in
   Cmd.v
     (Cmd.info "profile"
@@ -903,7 +1044,7 @@ let profile_cmd =
           report, Prometheus text, and an enriched Perfetto trace.")
     Term.(
       const profile $ workload_arg $ world_arg $ m_arg $ k_arg $ n_arg
-      $ out_prefix_arg $ check_arg)
+      $ out_prefix_arg $ check_arg $ critical_path_arg $ min_level_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                               *)
@@ -1109,155 +1250,7 @@ let chaos_cmd =
 (* The static sweep only *builds* programs — no simulation — so it can
    afford to cover every shipped workload across a rank and tile-shape
    sweep in well under a second. *)
-let verify_suite () =
-  let machine = Calib.test_machine in
-  let suite = ref [] in
-  let add name p = suite := (name, p) :: !suite in
-  (* MLP AG+GEMM, pull and push transfer modes. *)
-  List.iter
-    (fun world ->
-      List.iter
-        (fun comm_tile ->
-          let shapes =
-            { Mlp.m = 8 * world; k = 4; n = 6; world_size = world }
-          in
-          let cfg =
-            config ~world ~binding:(Design_space.Comm_on_sm 1) ~comm_tile
-              ~compute_tile:2 ~stages:2 ~ring:true
-          in
-          add
-            (Printf.sprintf "mlp_ag_gemm_pull/w%d/t%d" world comm_tile)
-            (Mlp.ag_gemm_program ~config:cfg shapes ~spec_gpu:machine);
-          add
-            (Printf.sprintf "mlp_ag_gemm_push/w%d/t%d" world comm_tile)
-            (Mlp.ag_gemm_program ~transfer:`Push ~config:cfg shapes
-               ~spec_gpu:machine))
-        [ 2; 4 ])
-    [ 2; 4; 8 ];
-  (* MLP GEMM+RS. *)
-  List.iter
-    (fun world ->
-      let shapes =
-        { Mlp.rs_m = 4 * world; rs_k = 3; rs_n = 4; rs_world = world }
-      in
-      let cfg =
-        {
-          Design_space.comm_tile = (2, 2);
-          compute_tile = (2, 2);
-          comm_order = Tile.Row_major;
-          compute_order = Tile.Row_major;
-          binding = Design_space.Comm_on_sm 1;
-          stages = 1;
-        }
-      in
-      add
-        (Printf.sprintf "mlp_gemm_rs/w%d" world)
-        (Mlp.gemm_rs_program ~config:cfg shapes ~spec_gpu:machine))
-    [ 2; 4 ];
-  (* MoE part 1 and part 2 (dynamic routing tables). *)
-  List.iter
-    (fun world ->
-      let spec =
-        {
-          Moe.tokens = 4 * world;
-          hidden = 4;
-          intermediate = 8;
-          experts = 3;
-          topk = 2;
-          world_size = world;
-        }
-      in
-      let route = Moe.routing spec ~seed:5 in
-      add
-        (Printf.sprintf "moe_part1/w%d" world)
-        (Moe.part1_program
-           ~config:
-             {
-               Moe.comm_tile_rows = 2;
-               group_tile_rows = 2;
-               comm_binding = Design_space.Comm_on_sm 1;
-             }
-           spec route ~spec_gpu:machine);
-      add
-        (Printf.sprintf "moe_part2/w%d" world)
-        (Moe.part2_program
-           ~config:
-             {
-               Moe.gg_tile_rows = 2;
-               reduce_tile_rows = 2;
-               rs_tile_rows = 2;
-               reduce_sms = 1;
-               rs_sms = 1;
-             }
-           spec route ~spec_gpu:machine))
-    [ 2; 4 ];
-  (* Sequence-parallel attention and its ring variant. *)
-  List.iter
-    (fun world ->
-      let spec =
-        {
-          Attention.batch_heads = 2;
-          seq = 8 * world;
-          head_dim = 4;
-          world_size = world;
-          causal = false;
-        }
-      in
-      let cfg = { Attention.q_tile = 4; kv_tile = 4 } in
-      add
-        (Printf.sprintf "attention/w%d" world)
-        (Attention.program ~config:cfg spec ~spec_gpu:machine);
-      add
-        (Printf.sprintf "ring_attention/w%d" world)
-        (Ring_attention.program
-           ~config:{ Ring_attention.q_tile = 4; comm_sms = 1 }
-           spec ~spec_gpu:machine))
-    [ 2; 4 ];
-  add "attention_causal/w2"
-    (Attention.program
-       ~config:{ Attention.q_tile = 4; kv_tile = 4 }
-       {
-         Attention.batch_heads = 2;
-         seq = 16;
-         head_dim = 4;
-         world_size = 2;
-         causal = true;
-       }
-       ~spec_gpu:machine);
-  (* Expert-parallel MoE dispatch/combine. *)
-  add "ep_moe/w2"
-    (let spec =
-       {
-         Ep_moe.tokens = 16;
-         hidden = 4;
-         intermediate = 6;
-         experts = 4;
-         topk = 2;
-         world_size = 2;
-       }
-     in
-     Ep_moe.program
-       ~config:{ Ep_moe.tile_rows = 2; comm_binding = Design_space.Comm_on_dma }
-       spec
-       (Ep_moe.routing spec ~seed:13)
-       ~spec_gpu:machine);
-  add "ep_moe/w4"
-    (let spec =
-       {
-         Ep_moe.tokens = 32;
-         hidden = 4;
-         intermediate = 6;
-         experts = 8;
-         topk = 2;
-         world_size = 4;
-       }
-     in
-     Ep_moe.program
-       ~config:{ Ep_moe.tile_rows = 2; comm_binding = Design_space.Comm_on_dma }
-       spec
-       (Ep_moe.routing spec ~seed:13)
-       ~spec_gpu:machine);
-  List.rev !suite
+let verify_suite () = Suite.programs ()
 
 (* Hand-built pathological programs: the self-test's positive controls
    for the two checks no Fault transform exercises directly. *)

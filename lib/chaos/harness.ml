@@ -75,6 +75,8 @@ type trial = {
   fallback_us : float;
   total_us : float;
   achieved_overlap : float;
+  overlap_efficiency : float;
+  recovery_overhead_us : float;
   numerics_ok : bool;
   retries : int;
   recovered_signals : (string * float) list;
@@ -101,6 +103,8 @@ type summary = {
   s_stalled : int;
   s_recovery_latencies : float list;
   s_failover_latencies : float list;
+  s_overlap_efficiency : float;
+  s_recovery_overhead_us : float;
 }
 
 (* One benchmark case: how to build/allocate/validate the workload,
@@ -315,6 +319,15 @@ let run_trial_impl ?(spec = Chaos.default_spec) ?(retry = true)
   let finish ~classification ~makespan ~fallback ~numerics_ok ~stall =
     let recov = control.Chaos.c_recovery in
     let total = makespan +. fallback in
+    (* Causal attribution over the chaos run's spans: the overlap
+       efficiency the schedule actually achieved under faults, and the
+       recovery work (retries + replays) on the critical path.  Both
+       are pure functions of simulated time, so they are as
+       deterministic as the rest of the trial record. *)
+    let attribution =
+      Obs.Attribution.of_spans ~makespan
+        (Obs.Span.spans (Obs.Telemetry.spans telemetry))
+    in
     {
       index;
       trial_seed;
@@ -324,6 +337,9 @@ let run_trial_impl ?(spec = Chaos.default_spec) ?(retry = true)
       fallback_us = fallback;
       total_us = total;
       achieved_overlap = (if total > 0.0 then ideal /. total else 1.0);
+      overlap_efficiency = attribution.Obs.Attribution.efficiency;
+      recovery_overhead_us =
+        attribution.Obs.Attribution.buckets.Obs.Attribution.recovery;
       numerics_ok;
       retries = recov.Chaos.retries;
       recovered_signals = recov.Chaos.recovered;
@@ -427,6 +443,10 @@ let summarize ~workload ~seed trials =
       List.concat_map
         (fun t -> List.map snd t.failed_over_ranks)
         trials;
+    s_overlap_efficiency =
+      Stats.mean (List.map (fun t -> t.overlap_efficiency) trials);
+    s_recovery_overhead_us =
+      List.fold_left (fun acc t -> acc +. t.recovery_overhead_us) 0.0 trials;
   }
 
 let run_trials ?pool ?spec ?retry ?policy ?crash_ranks ?watchdog ~workload
@@ -482,6 +502,8 @@ let trial_to_json t =
       ("fallback_us", Json.Num t.fallback_us);
       ("total_us", Json.Num t.total_us);
       ("achieved_overlap", Json.Num t.achieved_overlap);
+      ("overlap_efficiency", Json.Num t.overlap_efficiency);
+      ("recovery_overhead_us", Json.Num t.recovery_overhead_us);
       ("numerics_ok", Json.Bool t.numerics_ok);
       ("retries", Json.Num (float_of_int t.retries));
       ( "recovered",
@@ -564,6 +586,8 @@ let summary_to_json s =
                ("stalled", Json.Num (float_of_int s.s_stalled));
              ]) );
        ("recovery_latency_us", percentiles s.s_recovery_latencies);
+       ("overlap_efficiency", Json.Num s.s_overlap_efficiency);
+       ("recovery_overhead_us", Json.Num s.s_recovery_overhead_us);
      ]
     @ (if crashy then
          [ ("failover_latency_us", percentiles s.s_failover_latencies) ]

@@ -48,6 +48,11 @@ type trial = {
   fallback_us : float;  (** analytic non-overlapped recomputation cost *)
   total_us : float;  (** makespan + fallback *)
   achieved_overlap : float;  (** ideal / total; < 1.0 when degraded *)
+  overlap_efficiency : float;
+      (** causal-span attribution over the chaos run: fraction of the
+          run's communication hidden behind compute *)
+  recovery_overhead_us : float;
+      (** retry/replay time on the run's critical path *)
   numerics_ok : bool;  (** outputs match the workload reference *)
   retries : int;
   recovered_signals : (string * float) list;  (** (key, latency µs) *)
@@ -74,6 +79,8 @@ type summary = {
   s_stalled : int;
   s_recovery_latencies : float list;
   s_failover_latencies : float list;
+  s_overlap_efficiency : float;  (** mean over trials *)
+  s_recovery_overhead_us : float;  (** summed over trials *)
 }
 
 val run_trial :

@@ -1,0 +1,36 @@
+(** Makespan attribution: conserved buckets over the critical path
+    plus an overlap-efficiency score.
+
+    [bucket_sum] equals the makespan by construction (the critical
+    path charges wall-clock exactly once); {!conserved} tolerates only
+    float round-off.  Overlap efficiency is [1 - exposed/total]
+    communication time — 1.0 for a fully hidden schedule (or one with
+    no communication at all), 0.0 for a fully serial one. *)
+
+type buckets = {
+  compute : float;
+  exposed_comm : float;
+  wait_stall : float;
+  contention : float;
+  straggler : float;
+  recovery : float;
+}
+
+type t = {
+  buckets : buckets;
+  makespan : float;
+  total_comm : float;  (** every Copy span's duration, on-path or not *)
+  hidden_comm : float;
+  efficiency : float;
+}
+
+val of_spans : makespan:float -> Span.span list -> t
+(** Attribution for one run.  An empty span list yields all-straggler
+    buckets (still conserved). *)
+
+val bucket_sum : t -> float
+val conserved : ?tolerance:float -> t -> bool
+(** Default tolerance 1.0 (one time unit). *)
+
+val to_json : t -> Json.t
+val to_string : t -> string

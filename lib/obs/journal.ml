@@ -37,6 +37,35 @@ type event =
       (** Failover replayed [replayed] lost tasks of [rank] and
           resumed, [latency] µs after the crash. *)
 
+(* Severity: the routine signal/tile chatter is Debug; recovery
+   actions the watchdog took are Info; lost-work outcomes (degraded
+   reads, detected stalls) are Warn; run-killing conditions are
+   Error.  Ordered so [min_level] filters compare naturally. *)
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_of_event = function
+  | Signal_set _ | Wait_begin _ | Wait_end _ | Tile_push _ | Tile_pull _
+  | Channel_acquire _ | Channel_release _ ->
+    Debug
+  | Fault_injected _ | Retry _ | Recovered _ | Remapped _ | Resumed _ -> Info
+  | Stall_detected _ | Degraded _ -> Warn
+  | Deadlock _ | Rank_crashed _ -> Error
+
 type entry = { t : float; seq : int; event : event }
 
 type t = {
@@ -70,11 +99,20 @@ let dropped t = max 0 (t.next - t.capacity)
    away (the wrap boundary [next = capacity] is the historical culprit:
    [next mod capacity] is 0 there while nothing has been overwritten
    yet). *)
-let entries t =
+let entries ?min_level t =
   let len = length t in
   let start = if t.next > t.capacity then t.next mod t.capacity else 0 in
+  let keep =
+    match min_level with
+    | None -> fun _ -> true
+    | Some floor ->
+      fun e -> level_rank (level_of_event e.event) >= level_rank floor
+  in
   List.filter_map
-    (fun i -> t.buf.((start + i) mod t.capacity))
+    (fun i ->
+      match t.buf.((start + i) mod t.capacity) with
+      | Some e when keep e -> Some e
+      | _ -> None)
     (List.init len Fun.id)
 
 let event_name = function
@@ -183,7 +221,10 @@ let entry_to_json { t = time; seq; event } =
         ("latency", Json.Num latency);
       ]
   in
-  Json.Obj (("event", Json.Str (event_name event)) :: (base @ fields))
+  Json.Obj
+    (("event", Json.Str (event_name event))
+    :: ("level", Json.Str (level_to_string (level_of_event event)))
+    :: (base @ fields))
 
 (* One-line rendering for exception payloads: the deadlock enrichment
    splices the last few journal entries into the message. *)
@@ -222,9 +263,9 @@ let entry_summary { t = time; event; _ } =
   in
   Printf.sprintf "t=%.1f %s %s" time (event_name event) detail
 
-let to_json t =
+let to_json ?min_level t =
   Json.Obj
     [
       ("dropped", Json.Num (float_of_int (dropped t)));
-      ("entries", Json.List (List.map entry_to_json (entries t)));
+      ("entries", Json.List (List.map entry_to_json (entries ?min_level t)));
     ]

@@ -23,6 +23,15 @@ type event =
   | Remapped of { rank : int; tiles : int }
   | Resumed of { rank : int; replayed : int; latency : float }
 
+(** Severity of an event: routine signal/tile chatter is [Debug],
+    watchdog recovery actions are [Info], lost-work outcomes are
+    [Warn], run-killing conditions are [Error]. *)
+type level = Debug | Info | Warn | Error
+
+val level_of_event : event -> level
+val level_to_string : level -> string
+val level_of_string : string -> level option
+
 type entry = { t : float; seq : int; event : event }
 
 type t
@@ -40,8 +49,9 @@ val length : t -> int
 val dropped : t -> int
 (** Entries overwritten after the ring wrapped. *)
 
-val entries : t -> entry list
-(** Oldest first. *)
+val entries : ?min_level:level -> t -> entry list
+(** Oldest first; [min_level] keeps only entries at or above that
+    severity. *)
 
 val event_name : event -> string
 
@@ -49,4 +59,6 @@ val entry_summary : entry -> string
 (** One-line ["t=... <event> <detail>"] rendering, suitable for
     splicing into exception messages. *)
 
-val to_json : t -> Json.t
+val to_json : ?min_level:level -> t -> Json.t
+(** Entries carry a ["level"] field; [min_level] filters like
+    {!entries}. *)

@@ -167,15 +167,19 @@ let summary t name =
    summary — e.g. [wait_us.] pools the pc/peer/host wait latencies so
    reports can quote one per-run wait distribution. *)
 let merged_summary t ~prefix =
+  (* Pool in sorted-name order, not Hashtbl.fold order: float sums are
+     order-sensitive, and snapshots must diff cleanly across runs. *)
   let matching =
     Hashtbl.fold
       (fun name h acc ->
         if
           String.length name >= String.length prefix
           && String.sub name 0 (String.length prefix) = prefix
-        then h :: acc
+        then (name, h) :: acc
         else acc)
       t.histograms []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map snd
   in
   let xs = List.concat_map (fun h -> samples_list h.h_samples) matching in
   match xs with

@@ -197,17 +197,16 @@ let bandwidth_counter_events ?(slices = 64) ~duration journal =
           buckets.(i) <- buckets.(i) +. bytes
         | _ -> ())
       (Journal.entries journal);
-    Hashtbl.fold
-      (fun rank buckets acc ->
-        let samples =
-          List.init slices (fun i ->
-              let gbps = buckets.(i) /. slice_us *. 0.008 in
-              counter_event ~name:"egress Gbps" ~rank
-                ~t:(float_of_int i *. slice_us)
-                ~field:"gbps" gbps)
-        in
-        samples @ acc)
-      per_rank []
+    (* Emit in ascending rank order, not Hashtbl.fold order, so the
+       exported artifact is byte-stable across runs. *)
+    Hashtbl.fold (fun rank buckets acc -> (rank, buckets) :: acc) per_rank []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.concat_map (fun (rank, buckets) ->
+           List.init slices (fun i ->
+               let gbps = buckets.(i) /. slice_us *. 0.008 in
+               counter_event ~name:"egress Gbps" ~rank
+                 ~t:(float_of_int i *. slice_us)
+                 ~field:"gbps" gbps))
   end
 
 let instant ~name ~scope ~t ~rank args =
@@ -224,7 +223,7 @@ let instant ~name ~scope ~t ~rank args =
 (* Deadlocks plus every chaos-related journal event: injected faults
    are thread-scoped marks on the owning rank's track, recovery actions
    likewise, stalls are global so they are visible at any zoom. *)
-let instant_events journal =
+let instant_events ?min_level journal =
   List.filter_map
     (fun (e : Journal.entry) ->
       let t = e.Journal.t in
@@ -280,7 +279,7 @@ let instant_events journal =
                ("latency_us", Json.Num latency);
              ])
       | _ -> None)
-    (Journal.entries journal)
+    (Journal.entries ?min_level journal)
 
 let process_names ~trace =
   let ranks =
@@ -299,7 +298,11 @@ let process_names ~trace =
         ])
     ranks
 
-let export ?bandwidth_slices ~trace ~journal () =
+(* [min_level] filters only the instant-event marks: the flow arrows
+   and counter tracks are *reconstructed* from Debug-level journal
+   entries, so severity filtering must not starve them.  [extra]
+   appends caller-supplied events (e.g. the critical-path overlay). *)
+let export ?bandwidth_slices ?min_level ?(extra = []) ~trace ~journal () =
   let spans = List.map span_event (Trace.spans trace) in
   let duration = Trace.duration trace in
   Json.List
@@ -308,7 +311,9 @@ let export ?bandwidth_slices ~trace ~journal () =
     @ flow_events journal
     @ signal_counter_events journal
     @ bandwidth_counter_events ?slices:bandwidth_slices ~duration journal
-    @ instant_events journal)
+    @ instant_events ?min_level journal
+    @ extra)
 
-let export_string ?bandwidth_slices ~trace ~journal () =
-  Json.to_string ~indent:true (export ?bandwidth_slices ~trace ~journal ())
+let export_string ?bandwidth_slices ?min_level ?extra ~trace ~journal () =
+  Json.to_string ~indent:true
+    (export ?bandwidth_slices ?min_level ?extra ~trace ~journal ())

@@ -1,0 +1,157 @@
+(* Bench regression gating: diff two BENCH_*.json artifacts row by row.
+
+   Rows are keyed (config, kernel) and compared on [makespan_us] only —
+   wall-clock and cache-hit fields vary run to run by design, while the
+   simulated makespan is deterministic, so any drift there is a real
+   performance change.  A row present in the baseline but missing from
+   the candidate counts as a regression (a kernel silently dropped from
+   the suite must not pass the gate); rows only the candidate has are
+   reported informationally. *)
+
+type row = { r_config : string; r_kernel : string; r_makespan_us : float }
+
+type status =
+  | Unchanged  (* within tolerance *)
+  | Improved of float  (* ratio new/old < 1 - tolerance *)
+  | Regressed of float  (* ratio new/old > 1 + tolerance *)
+  | Missing  (* in baseline, absent from candidate: a regression *)
+  | Added  (* only in candidate: informational *)
+
+type finding = {
+  f_config : string;
+  f_kernel : string;
+  f_old : float option;
+  f_new : float option;
+  f_status : status;
+}
+
+type report = {
+  tolerance : float;
+  findings : finding list;
+  regressions : int;
+}
+
+let default_tolerance = 0.05
+
+let rows_of_json doc =
+  match Json.member "rows" doc with
+  | None -> Error "no \"rows\" array"
+  | Some rows ->
+    let parse_row i r =
+      let str name = Option.bind (Json.member name r) Json.to_str in
+      let num name = Option.bind (Json.member name r) Json.to_float in
+      match (str "config", str "kernel", num "makespan_us") with
+      | Some c, Some k, Some m ->
+        Ok { r_config = c; r_kernel = k; r_makespan_us = m }
+      | _ ->
+        Error
+          (Printf.sprintf
+             "row %d lacks config/kernel/makespan_us fields" i)
+    in
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | r :: rest -> (
+        match parse_row i r with
+        | Ok row -> go (i + 1) (row :: acc) rest
+        | Error _ as e -> e)
+    in
+    go 0 [] (Json.to_list rows)
+
+let rows_of_string s =
+  match Json.parse s with
+  | Error msg -> Error ("not valid JSON: " ^ msg)
+  | Ok doc -> rows_of_json doc
+
+let compare_rows ?(tolerance = default_tolerance) ~baseline ~candidate () =
+  let key r = (r.r_config, r.r_kernel) in
+  let find rows k = List.find_opt (fun r -> key r = k) rows in
+  let of_baseline =
+    List.map
+      (fun old ->
+        match find candidate (key old) with
+        | None ->
+          {
+            f_config = old.r_config;
+            f_kernel = old.r_kernel;
+            f_old = Some old.r_makespan_us;
+            f_new = None;
+            f_status = Missing;
+          }
+        | Some fresh ->
+          let ratio =
+            if old.r_makespan_us > 0.0 then
+              fresh.r_makespan_us /. old.r_makespan_us
+            else if fresh.r_makespan_us > 0.0 then infinity
+            else 1.0
+          in
+          let status =
+            if ratio > 1.0 +. tolerance then Regressed ratio
+            else if ratio < 1.0 -. tolerance then Improved ratio
+            else Unchanged
+          in
+          {
+            f_config = old.r_config;
+            f_kernel = old.r_kernel;
+            f_old = Some old.r_makespan_us;
+            f_new = Some fresh.r_makespan_us;
+            f_status = status;
+          })
+      baseline
+  in
+  let added =
+    List.filter_map
+      (fun fresh ->
+        if find baseline (key fresh) = None then
+          Some
+            {
+              f_config = fresh.r_config;
+              f_kernel = fresh.r_kernel;
+              f_old = None;
+              f_new = Some fresh.r_makespan_us;
+              f_status = Added;
+            }
+        else None)
+      candidate
+  in
+  let findings = of_baseline @ added in
+  let regressions =
+    List.length
+      (List.filter
+         (fun f ->
+           match f.f_status with Regressed _ | Missing -> true | _ -> false)
+         findings)
+  in
+  { tolerance; findings; regressions }
+
+let ok report = report.regressions = 0
+
+let finding_to_string f =
+  let name = Printf.sprintf "%s/%s" f.f_config f.f_kernel in
+  match f.f_status with
+  | Unchanged ->
+    Printf.sprintf "  ok        %-40s %10.1f us" name
+      (Option.value ~default:0.0 f.f_new)
+  | Improved ratio ->
+    Printf.sprintf "  improved  %-40s %10.1f -> %.1f us (%.1f%%)" name
+      (Option.value ~default:0.0 f.f_old)
+      (Option.value ~default:0.0 f.f_new)
+      (100.0 *. (ratio -. 1.0))
+  | Regressed ratio ->
+    Printf.sprintf "  REGRESSED %-40s %10.1f -> %.1f us (+%.1f%%)" name
+      (Option.value ~default:0.0 f.f_old)
+      (Option.value ~default:0.0 f.f_new)
+      (100.0 *. (ratio -. 1.0))
+  | Missing ->
+    Printf.sprintf "  MISSING   %-40s %10.1f us in baseline, absent now" name
+      (Option.value ~default:0.0 f.f_old)
+  | Added ->
+    Printf.sprintf "  added     %-40s %10.1f us (no baseline)" name
+      (Option.value ~default:0.0 f.f_new)
+
+let report_to_string report =
+  String.concat "\n"
+    (Printf.sprintf "bench compare (tolerance %.1f%%): %d rows, %d regressions"
+       (100.0 *. report.tolerance)
+       (List.length report.findings)
+       report.regressions
+    :: List.map finding_to_string report.findings)

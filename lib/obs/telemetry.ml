@@ -1,26 +1,30 @@
 (* The telemetry handle instrumented layers thread through.
 
-   One record bundles the aggregate half (metrics) and the sequential
-   half (journal) so call sites take a single optional argument.  The
-   [enabled] switch flips both: instrumentation guards on it before
-   doing any work, which keeps the disabled cost to a branch. *)
+   One record bundles the aggregate half (metrics), the sequential
+   half (journal) and the causal half (spans) so call sites take a
+   single optional argument.  The [enabled] switch flips all three:
+   instrumentation guards on it before doing any work, which keeps the
+   disabled cost to a branch. *)
 
-type t = { metrics : Metrics.t; journal : Journal.t }
+type t = { metrics : Metrics.t; journal : Journal.t; spans : Span.t }
 
 let create ?(enabled = true) ?journal_capacity () =
   {
     metrics = Metrics.create ~enabled ();
     journal = Journal.create ?capacity:journal_capacity ~enabled ();
+    spans = Span.create ~enabled ();
   }
 
 let metrics t = t.metrics
 let journal t = t.journal
+let spans t = t.spans
 
 let enabled t = Metrics.enabled t.metrics
 
 let set_enabled t flag =
   Metrics.set_enabled t.metrics flag;
-  Journal.set_enabled t.journal flag
+  Journal.set_enabled t.journal flag;
+  Span.set_enabled t.spans flag
 
 (* [active opt] is the single check instrumented code performs:
    [None] (no telemetry requested) and [Some disabled] both fall

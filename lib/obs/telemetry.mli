@@ -1,11 +1,13 @@
 (** The telemetry handle instrumented layers thread through: a metrics
-    registry plus an event journal behind one enable switch. *)
+    registry, an event journal, and a causal span recorder behind one
+    enable switch. *)
 
-type t = { metrics : Metrics.t; journal : Journal.t }
+type t = { metrics : Metrics.t; journal : Journal.t; spans : Span.t }
 
 val create : ?enabled:bool -> ?journal_capacity:int -> unit -> t
 val metrics : t -> Metrics.t
 val journal : t -> Journal.t
+val spans : t -> Span.t
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 

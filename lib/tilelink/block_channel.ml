@@ -49,7 +49,17 @@ let lower ?telemetry t stmts =
       (Tilelink_obs.Telemetry.journal tele)
       ~t:0.0
       (Tilelink_obs.Journal.Channel_acquire
-         { rank = t.rank; base = t.channel_base; extent = channel_extent t })
+         { rank = t.rank; base = t.channel_base; extent = channel_extent t });
+    (* Zero-length marker span at t=0: makes the lowering's channel
+       occupation visible to the span DAG without adding any charged
+       time (never on the critical path — zero duration, no preds). *)
+    Tilelink_obs.Span.record_task
+      (Tilelink_obs.Telemetry.spans tele)
+      ~kind:Tilelink_obs.Span.Compute
+      ~label:
+        (Printf.sprintf "lower.acquire[%d..%d)" t.channel_base
+           (t.channel_base + channel_extent t))
+      ~rank:t.rank ~worker:(-1) ~t0:0.0 ~t1:0.0
   end;
   let note_instr = function
     | Instr.Wait _ ->

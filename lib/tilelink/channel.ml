@@ -61,23 +61,27 @@ type t = {
    overshoot that would prematurely release future waits on the same
    key.  This mirrors release-stores of a monotonically increasing
    flag value (the hardware notify these channels model). *)
-let deliver t ~kind ~rank counter ~epoch ~amount =
+let deliver t ?pred ~kind ~rank counter ~epoch ~amount =
   Tilelink_sim.Counter.set_at_least counter epoch;
   if Tilelink_obs.Telemetry.active t.telemetry then begin
     let tele = Option.get t.telemetry in
     Tilelink_obs.Metrics.inc
       (Tilelink_obs.Telemetry.metrics tele)
       ("notifies." ^ kind);
+    let key = Tilelink_sim.Counter.name counter in
+    let value = Tilelink_sim.Counter.value counter in
+    let now = t.clock () in
     Tilelink_obs.Journal.record
       (Tilelink_obs.Telemetry.journal tele)
-      ~t:(t.clock ())
-      (Tilelink_obs.Journal.Signal_set
-         {
-           key = Tilelink_sim.Counter.name counter;
-           rank;
-           amount;
-           value = Tilelink_sim.Counter.value counter;
-         })
+      ~t:now
+      (Tilelink_obs.Journal.Signal_set { key; rank; amount; value });
+    (* The span is recorded at *delivery* (not issue): a dropped notify
+       never becomes a wait-resolution candidate, and a delayed one
+       carries its real arrival time.  [pred] is the issuer's causal
+       cursor captured at issue time. *)
+    Tilelink_obs.Span.record_notify
+      (Tilelink_obs.Telemetry.spans tele)
+      ?pred ~label:("notify." ^ kind) ~rank ~key ~value ~t:now
   end
 
 let fault_mark t ~fault_kind ~key ~rank =
@@ -99,26 +103,39 @@ let intended_value t ~key =
    the notify once regardless of the decision: a dropped signal was
    still *sent* (so a retry may legitimately re-issue it), a duplicate
    only entitles the consumer to one increment. *)
-let notify_instr t ~kind ~rank counter ~amount =
+let notify_instr ?worker t ~kind ~rank counter ~amount =
   let key = Tilelink_sim.Counter.name counter in
   let epoch = intended_value t ~key + amount in
   Hashtbl.replace t.intended key epoch;
+  (* Causal predecessor of the (eventual) delivery: the issuing
+     worker's last span, captured *now* so a delayed delivery still
+     points at what the producer had done when it issued the signal. *)
+  let pred =
+    if Tilelink_obs.Telemetry.active t.telemetry then
+      match worker with
+      | Some w when w >= 0 ->
+        Tilelink_obs.Span.cursor
+          (Tilelink_obs.Telemetry.spans (Option.get t.telemetry))
+          ~worker:w
+      | _ -> None
+    else None
+  in
   match t.interceptor with
-  | None -> deliver t ~kind ~rank counter ~epoch ~amount
+  | None -> deliver t ?pred ~kind ~rank counter ~epoch ~amount
   | Some decide -> (
     match decide ~kind ~key ~rank ~amount with
-    | Deliver -> deliver t ~kind ~rank counter ~epoch ~amount
+    | Deliver -> deliver t ?pred ~kind ~rank counter ~epoch ~amount
     | Drop -> fault_mark t ~fault_kind:"drop" ~key ~rank
     | Duplicate ->
       fault_mark t ~fault_kind:"duplicate" ~key ~rank;
-      deliver t ~kind ~rank counter ~epoch ~amount;
-      deliver t ~kind ~rank counter ~epoch ~amount
+      deliver t ?pred ~kind ~rank counter ~epoch ~amount;
+      deliver t ?pred ~kind ~rank counter ~epoch ~amount
     | Delay d -> (
       fault_mark t ~fault_kind:"delay" ~key ~rank;
       match t.scheduler with
       | Some sched ->
-        sched d (fun () -> deliver t ~kind ~rank counter ~epoch ~amount)
-      | None -> deliver t ~kind ~rank counter ~epoch ~amount))
+        sched d (fun () -> deliver t ?pred ~kind ~rank counter ~epoch ~amount)
+      | None -> deliver t ?pred ~kind ~rank counter ~epoch ~amount))
 
 (* Instrumented wait: journal begin/end (even for waits that are
    satisfied immediately — a zero-latency wait is still a pairing
@@ -126,7 +143,7 @@ let notify_instr t ~kind ~rank counter ~amount =
    pending-wait registry is maintained unconditionally: it is what
    watchdogs and deadlock enrichment read, and must not depend on
    telemetry being on. *)
-let wait_instr ?waiter t ~kind ~rank counter ~threshold =
+let wait_instr ?waiter ?worker t ~kind ~rank counter ~threshold =
   let key = Tilelink_sim.Counter.name counter in
   let id = t.next_wait_id in
   t.next_wait_id <- id + 1;
@@ -150,7 +167,16 @@ let wait_instr ?waiter t ~kind ~rank counter ~threshold =
        (Tilelink_obs.Journal.Wait_end { key; rank; threshold; started = t0 });
      let metrics = Tilelink_obs.Telemetry.metrics tele in
      Tilelink_obs.Metrics.inc metrics ("waits." ^ kind);
-     Tilelink_obs.Metrics.observe metrics ("wait_us." ^ kind) (t1 -. t0)
+     Tilelink_obs.Metrics.observe metrics ("wait_us." ^ kind) (t1 -. t0);
+     (* Only a wait that actually blocked becomes a stall span; an
+        immediately satisfied wait has no causal weight. *)
+     if t1 > t0 then
+       Tilelink_obs.Span.record_wait
+         (Tilelink_obs.Telemetry.spans tele)
+         ~label:("wait." ^ kind)
+         ~rank:(Option.value ~default:rank waiter)
+         ~worker:(Option.value ~default:(-1) worker)
+         ~key ~threshold ~t0 ~t1
    end
    else Tilelink_sim.Counter.await_ge ~tag counter threshold);
   Hashtbl.remove t.pending id
@@ -252,15 +278,15 @@ let cancel_rank_waits t ~rank =
   !n
 
 (* Producer/consumer channel on [rank]. *)
-let pc_notify t ~rank ~channel ~amount =
+let pc_notify ?worker t ~rank ~channel ~amount =
   check_rank t rank "pc_notify";
   check_channel t channel "pc_notify";
-  notify_instr t ~kind:"pc" ~rank t.pc.(rank).(channel) ~amount
+  notify_instr ?worker t ~kind:"pc" ~rank t.pc.(rank).(channel) ~amount
 
-let pc_wait ?waiter t ~rank ~channel ~threshold =
+let pc_wait ?waiter ?worker t ~rank ~channel ~threshold =
   check_rank t rank "pc_wait";
   check_channel t channel "pc_wait";
-  wait_instr ?waiter t ~kind:"pc" ~rank t.pc.(rank).(channel) ~threshold
+  wait_instr ?waiter ?worker t ~kind:"pc" ~rank t.pc.(rank).(channel) ~threshold
 
 let pc_value t ~rank ~channel =
   check_rank t rank "pc_value";
@@ -268,30 +294,32 @@ let pc_value t ~rank ~channel =
   Tilelink_sim.Counter.value t.pc.(rank).(channel)
 
 (* Peer channel: [src] signals [dst]. *)
-let peer_notify t ~src ~dst ?(channel = 0) ~amount () =
+let peer_notify ?worker t ~src ~dst ?(channel = 0) ~amount () =
   check_rank t src "peer_notify";
   check_rank t dst "peer_notify";
-  notify_instr t ~kind:"peer" ~rank:src t.peer.(dst).(src).(channel) ~amount
+  notify_instr ?worker t ~kind:"peer" ~rank:src t.peer.(dst).(src).(channel)
+    ~amount
 
-let peer_wait ?waiter t ~src ~dst ?(channel = 0) ~threshold () =
+let peer_wait ?waiter ?worker t ~src ~dst ?(channel = 0) ~threshold () =
   check_rank t src "peer_wait";
   check_rank t dst "peer_wait";
-  wait_instr ?waiter t ~kind:"peer" ~rank:dst t.peer.(dst).(src).(channel)
-    ~threshold
+  wait_instr ?waiter ?worker t ~kind:"peer" ~rank:dst
+    t.peer.(dst).(src).(channel) ~threshold
 
 let peer_value t ~src ~dst ?(channel = 0) () =
   Tilelink_sim.Counter.value t.peer.(dst).(src).(channel)
 
 (* Host channel: copy-engine completion signalled to [dst]'s kernels. *)
-let host_notify t ~src ~dst ~amount =
+let host_notify ?worker t ~src ~dst ~amount =
   check_rank t src "host_notify";
   check_rank t dst "host_notify";
-  notify_instr t ~kind:"host" ~rank:src t.host.(dst).(src) ~amount
+  notify_instr ?worker t ~kind:"host" ~rank:src t.host.(dst).(src) ~amount
 
-let host_wait ?waiter t ~src ~dst ~threshold =
+let host_wait ?waiter ?worker t ~src ~dst ~threshold =
   check_rank t src "host_wait";
   check_rank t dst "host_wait";
-  wait_instr ?waiter t ~kind:"host" ~rank:dst t.host.(dst).(src) ~threshold
+  wait_instr ?waiter ?worker t ~kind:"host" ~rank:dst t.host.(dst).(src)
+    ~threshold
 
 let total_notifies t =
   let sum = ref 0 in

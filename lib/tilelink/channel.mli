@@ -51,22 +51,41 @@ val create :
 val world_size : t -> int
 val channels_per_rank : t -> int
 
-val pc_notify : t -> rank:int -> channel:int -> amount:int -> unit
+val pc_notify :
+  ?worker:int -> t -> rank:int -> channel:int -> amount:int -> unit
+(** [worker] is the span-recorder worker id of the issuing execution
+    stream; when telemetry is on, the delivery span's causal
+    predecessor is that worker's last span at issue time. *)
 
 val pc_wait :
-  ?waiter:int -> t -> rank:int -> channel:int -> threshold:int -> unit
+  ?waiter:int ->
+  ?worker:int ->
+  t ->
+  rank:int ->
+  channel:int ->
+  threshold:int ->
+  unit
 (** [waiter] is the *executing* rank blocking in the wait (which for pc
     channels differs from [rank], the channel owner); it tags the parked
     process so {!cancel_rank_waits} can force-wake it if that rank
-    crashes. *)
+    crashes.  [worker] chains the stall span (if the wait blocks) into
+    that execution stream's program order. *)
 
 val pc_value : t -> rank:int -> channel:int -> int
 
 val peer_notify :
-  t -> src:int -> dst:int -> ?channel:int -> amount:int -> unit -> unit
+  ?worker:int ->
+  t ->
+  src:int ->
+  dst:int ->
+  ?channel:int ->
+  amount:int ->
+  unit ->
+  unit
 
 val peer_wait :
   ?waiter:int ->
+  ?worker:int ->
   t ->
   src:int ->
   dst:int ->
@@ -77,8 +96,10 @@ val peer_wait :
 
 val peer_value : t -> src:int -> dst:int -> ?channel:int -> unit -> int
 
-val host_notify : t -> src:int -> dst:int -> amount:int -> unit
-val host_wait : ?waiter:int -> t -> src:int -> dst:int -> threshold:int -> unit
+val host_notify : ?worker:int -> t -> src:int -> dst:int -> amount:int -> unit
+
+val host_wait :
+  ?waiter:int -> ?worker:int -> t -> src:int -> dst:int -> threshold:int -> unit
 
 val cancel_rank_waits : t -> rank:int -> int
 (** Force-wake every wait whose executing rank (the [waiter] tag) is

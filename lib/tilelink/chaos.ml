@@ -503,6 +503,20 @@ let watchdog_body ?hooks ~engine ~channels ~telemetry ~(control : control) ~wd
     if Obs.Telemetry.active telemetry then
       Obs.Metrics.observe (Obs.Telemetry.metrics (Option.get telemetry)) name v
   in
+  (* The watchdog is its own sequential causal stream; its re-issue
+     spans must be recorded *before* the force_signal wakes the blocked
+     wait, so the wait's resolution finds the delivery candidate. *)
+  let span_worker =
+    if Obs.Telemetry.active telemetry then
+      Obs.Span.fresh_worker (Obs.Telemetry.spans (Option.get telemetry))
+    else -1
+  in
+  let span_retry ~label ~key ~rank ~value ~t0 ~t1 =
+    if Obs.Telemetry.active telemetry then
+      Obs.Span.record_retry
+        (Obs.Telemetry.spans (Option.get telemetry))
+        ~label ~rank ~worker:span_worker ~key ~value ~t0 ~t1
+  in
   let give_up ~now (rep : Channel.pending_wait) ~value ~intended =
     match wd.policy with
     (* Failover handles *crash* faults through the hooks; an exhausted
@@ -515,6 +529,9 @@ let watchdog_body ?hooks ~engine ~channels ~telemetry ~(control : control) ~wd
            { key = rep.Channel.pw_key; rank = rep.Channel.pw_rank });
       metric "recovery.degraded";
       Hashtbl.remove retry_state rep.Channel.pw_key;
+      span_retry ~label:"watchdog.degrade" ~key:rep.Channel.pw_key
+        ~rank:rep.Channel.pw_rank ~value:rep.Channel.pw_threshold
+        ~t0:rep.Channel.pw_since ~t1:now;
       Channel.force_signal channels ~key:rep.Channel.pw_key
         ~target:rep.Channel.pw_threshold
     | Fail_stop ->
@@ -569,6 +586,8 @@ let watchdog_body ?hooks ~engine ~channels ~telemetry ~(control : control) ~wd
         | None -> true
       in
       if delivered then begin
+        span_retry ~label:"watchdog.retry" ~key ~rank:rep.Channel.pw_rank
+          ~value:intended ~t0:rep.Channel.pw_since ~t1:now;
         Channel.force_signal channels ~key ~target:intended;
         let latency = now -. rep.Channel.pw_since in
         recov.recovered <- recov.recovered @ [ (key, latency) ];

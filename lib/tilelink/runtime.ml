@@ -63,24 +63,33 @@ let cost_duration (spec : Spec.t) ~sms = function
   | Instr.Fixed_cost d -> d
   | Instr.Free -> 0.0
 
-let exec_wait channels ~waiter (target : Instr.signal_target) ~threshold =
+let exec_wait channels ~waiter ~worker (target : Instr.signal_target)
+    ~threshold =
   match target with
   | Instr.Pc { rank; channel } ->
-    Channel.pc_wait ~waiter channels ~rank ~channel ~threshold
+    Channel.pc_wait ~waiter ~worker channels ~rank ~channel ~threshold
   | Instr.Peer { src; dst; channel } ->
-    Channel.peer_wait ~waiter channels ~src ~dst ~channel ~threshold ()
+    Channel.peer_wait ~waiter ~worker channels ~src ~dst ~channel ~threshold ()
   | Instr.Host { src; dst } ->
-    Channel.host_wait ~waiter channels ~src ~dst ~threshold
+    Channel.host_wait ~waiter ~worker channels ~src ~dst ~threshold
 
-let exec_notify channels ~rank:_ (target : Instr.signal_target) ~amount =
+let exec_notify channels ~rank:_ ~worker (target : Instr.signal_target)
+    ~amount =
   match target with
   | Instr.Pc { rank; channel } ->
-    Channel.pc_notify channels ~rank ~channel ~amount
+    Channel.pc_notify ~worker channels ~rank ~channel ~amount
   | Instr.Peer { src; dst; channel } ->
-    Channel.peer_notify channels ~src ~dst ~channel ~amount ()
-  | Instr.Host { src; dst } -> Channel.host_notify channels ~src ~dst ~amount
+    Channel.peer_notify ~worker channels ~src ~dst ~channel ~amount ()
+  | Instr.Host { src; dst } ->
+    Channel.host_notify ~worker channels ~src ~dst ~amount
 
 module Obs = Tilelink_obs
+
+(* Replayed tasks run under "<label>+replay"; their spans are recorded
+   as [Replay] so attribution charges them to recovery, not compute. *)
+let is_replay_label label =
+  let n = String.length label in
+  n >= 7 && String.sub label (n - 7) 7 = "+replay"
 
 (* ------------------------------------------------------------------ *)
 (* Tile-completion ledger                                              *)
@@ -126,7 +135,7 @@ let check_live ctx = if not (ctx.ec_live ()) then raise Abandoned
    multiplies compute durations when a fused kernel also runs
    communication on the same chip. *)
 let exec_instr cluster channels memory ~telemetry ~data ~rank ~ctx ~lane
-    ~worker_sms ~comm_active ~pending_loads ~label instr =
+    ~worker_sms ~comm_active ~pending_loads ~worker ~label instr =
   let spec = Cluster.spec cluster in
   let trace = Cluster.trace cluster in
   let now () = Cluster.now cluster in
@@ -181,11 +190,16 @@ let exec_instr cluster channels memory ~telemetry ~data ~rank ~ctx ~lane
     Trace.add trace ~rank:ctx.ec_exec_rank ~lane ~label:clabel ~t0
       ~t1:(now ());
     if Obs.Telemetry.active telemetry then begin
-      let m = Obs.Telemetry.metrics (Option.get telemetry) in
+      let tele = Option.get telemetry in
+      let m = Obs.Telemetry.metrics tele in
       Obs.Metrics.inc m "tiles.compute";
       Obs.Metrics.observe m "compute_us" (now () -. t0);
       if ready > issue then
-        Obs.Metrics.observe m "load_stall_us" (ready -. issue)
+        Obs.Metrics.observe m "load_stall_us" (ready -. issue);
+      Obs.Span.record_task
+        (Obs.Telemetry.spans tele)
+        ~kind:(if is_replay_label label then Obs.Span.Replay else Obs.Span.Compute)
+        ~label:clabel ~rank:ctx.ec_exec_rank ~worker ~t0 ~t1:(now ())
     end;
     if data then Option.iter (fun act -> act memory ~rank) action
   | Instr.Copy { label = clabel; src; dst; bytes; action } ->
@@ -237,7 +251,11 @@ let exec_instr cluster channels memory ~telemetry ~data ~rank ~ctx ~lane
                { label = clabel; src = src_rank; dst = dst_rank; bytes }
            else
              Obs.Journal.Tile_push
-               { label = clabel; src = src_rank; dst = dst_rank; bytes })
+               { label = clabel; src = src_rank; dst = dst_rank; bytes });
+      Obs.Span.record_task
+        (Obs.Telemetry.spans tele)
+        ~kind:(if is_replay_label label then Obs.Span.Replay else Obs.Span.Copy)
+        ~label:clabel ~rank:ctx.ec_exec_rank ~worker ~t0 ~t1:(now ())
     end;
     if data then begin
       match action with
@@ -248,7 +266,7 @@ let exec_instr cluster channels memory ~telemetry ~data ~rank ~ctx ~lane
     let t0 = now () in
     if spec.Spec.overheads.signal_wait > 0.0 then
       Process.wait spec.Spec.overheads.signal_wait;
-    exec_wait channels ~waiter:ctx.ec_exec_rank target ~threshold;
+    exec_wait channels ~waiter:ctx.ec_exec_rank ~worker target ~threshold;
     (* A force-woken wait (the rank died while parked) returns with its
        threshold unsatisfied — abandon before touching anything. *)
     check_live ctx;
@@ -261,7 +279,7 @@ let exec_instr cluster channels memory ~telemetry ~data ~rank ~ctx ~lane
       Process.wait spec.Spec.overheads.signal_notify;
     (* Dying inside the fence means the signal never became visible. *)
     check_live ctx;
-    exec_notify channels ~rank target ~amount;
+    exec_notify channels ~rank ~worker target ~amount;
     (* Producer-side checkpoint: this epoch is now delivered (or at
        least issued); replay will skip it. *)
     ctx.ec_on_notify ()
@@ -288,6 +306,14 @@ let worker_body cluster channels memory ~telemetry ~data ~rank ~live ~lane
     ~worker_sms ~comm_active ~unit_pool queue () =
   let pending_loads = ref [] in
   let current : ledger_entry option ref = ref None in
+  (* One causal worker id per sequential execution stream: spans it
+     records chain in program order, and its notifies carry its cursor
+     as the delivery's predecessor.  -1 (telemetry off) skips chaining. *)
+  let worker =
+    if Obs.Telemetry.active telemetry then
+      Obs.Span.fresh_worker (Obs.Telemetry.spans (Option.get telemetry))
+    else -1
+  in
   let ctx =
     {
       ec_exec_rank = rank;
@@ -302,7 +328,7 @@ let worker_body cluster channels memory ~telemetry ~data ~rank ~live ~lane
   in
   let exec =
     exec_instr cluster channels memory ~telemetry ~data ~rank ~ctx ~lane
-      ~worker_sms ~comm_active ~pending_loads
+      ~worker_sms ~comm_active ~pending_loads ~worker
   in
   let rec loop () =
     match
@@ -722,6 +748,14 @@ let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) ?rebuild
       let replay_bodies =
         List.map
           (fun (((owner_rank : int), _role), entries) () ->
+            (* Each replay group is one sequential stream: its own
+               causal worker keeps replayed spans chained in order. *)
+            let worker =
+              if Obs.Telemetry.active telemetry then
+                Obs.Span.fresh_worker
+                  (Obs.Telemetry.spans (Option.get telemetry))
+              else -1
+            in
             List.iter
               (fun (e : ledger_entry) ->
                 match
@@ -746,7 +780,7 @@ let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) ?rebuild
                   let exec =
                     exec_instr cluster channels memory ~telemetry ~data
                       ~rank:owner_rank ~ctx ~lane:Trace.Comm_sm ~worker_sms:1
-                      ~comm_active ~pending_loads
+                      ~comm_active ~pending_loads ~worker
                       ~label:(task.Program.label ^ "+replay")
                   in
                   List.iter

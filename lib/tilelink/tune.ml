@@ -18,6 +18,9 @@ type 'a evaluation = {
   candidate : 'a;
   config : Design_space.config;
   time : float;
+  exposed_comm_us : float option;
+      (* exposed-communication blame from the causal profiler, when the
+         evaluator ran with telemetry (program-valued searches do) *)
 }
 
 type 'a outcome = {
@@ -60,14 +63,43 @@ let attempt ?analyze ~build ~evaluate (config, cached) =
     | Error _ -> Failed_race
     | Ok () -> (
       match cached with
-      | Some time -> From_cache { candidate; config; time }
+      | Some (time, exposed_comm_us) ->
+        From_cache { candidate; config; time; exposed_comm_us }
       | None -> (
         match evaluate candidate with
         | exception Invalid_argument _ -> Failed_invalid
         | exception Tilelink_sim.Engine.Deadlock _ -> Failed_deadlock
-        | time -> Evaluated { candidate; config; time })))
+        | time, exposed_comm_us ->
+          Evaluated { candidate; config; time; exposed_comm_us })))
 
-let search ?pool ?cache ?cache_key ?analyze ~build ~evaluate configs =
+(* Cache entries: the original schema was a bare number (the simulated
+   time); entries written since the causal profiler landed are objects
+   carrying the exposed-communication blame alongside.  Reads accept
+   both so a pre-existing cache file keeps hitting. *)
+let cached_of_json json =
+  let module Json = Tilelink_obs.Json in
+  match Json.to_float json with
+  | Some time -> Some (time, None)
+  | None ->
+    Option.map
+      (fun time ->
+        ( time,
+          Option.bind (Json.member "exposed_comm_us" json) Json.to_float ))
+      (Option.bind (Json.member "time" json) Json.to_float)
+
+let cached_to_json e =
+  let module Json = Tilelink_obs.Json in
+  Json.Obj
+    (("time", Json.Num e.time)
+    ::
+    (match e.exposed_comm_us with
+    | Some x -> [ ("exposed_comm_us", Json.Num x) ]
+    | None -> []))
+
+(* The internal search: [evaluate] returns the simulated time plus the
+   optional exposed-communication measurement.  The public [search]
+   keeps its scalar evaluator and wraps. *)
+let search_gen ?pool ?cache ?cache_key ?analyze ~build ~evaluate configs =
   let keyed =
     match (cache, cache_key) with
     | Some cache, Some key_of ->
@@ -75,9 +107,7 @@ let search ?pool ?cache ?cache_key ?analyze ~build ~evaluate configs =
         (fun config ->
           let key = key_of config in
           let cached =
-            Option.bind
-              (Tilelink_exec.Cache.find cache key)
-              Tilelink_obs.Json.to_float
+            Option.bind (Tilelink_exec.Cache.find cache key) cached_of_json
           in
           (config, Some key, cached))
         configs
@@ -99,7 +129,7 @@ let search ?pool ?cache ?cache_key ?analyze ~build ~evaluate configs =
       (fun (_, key, _) att ->
         match (key, att) with
         | Some key, Evaluated e ->
-          Tilelink_exec.Cache.add cache key (Tilelink_obs.Json.Num e.time)
+          Tilelink_exec.Cache.add cache key (cached_to_json e)
         | _ -> ())
       keyed attempts);
   let evaluated =
@@ -146,6 +176,11 @@ let search ?pool ?cache ?cache_key ?analyze ~build ~evaluate configs =
         cache_misses;
       }
 
+let search ?pool ?cache ?cache_key ?analyze ~build ~evaluate configs =
+  search_gen ?pool ?cache ?cache_key ?analyze ~build
+    ~evaluate:(fun candidate -> (evaluate candidate, None))
+    configs
+
 (* Convenience for program-valued candidates: simulate on a fresh
    cluster per candidate, built *inside* the evaluating task so every
    engine/channel/runtime structure stays confined to the domain that
@@ -173,8 +208,21 @@ let search_programs ?pool ?cache ?(workload = "program") ?(analyze = true)
   let analyze =
     if analyze then Some Analyzer.check_message else None
   in
-  search ?pool ?cache ?cache_key ?analyze ~build
+  search_gen ?pool ?cache ?cache_key ?analyze ~build
     ~evaluate:(fun program ->
+      (* Telemetry adds no simulated time, so the makespan is the one
+         the plain evaluator would report; the spans additionally give
+         each candidate its exposed-communication blame — the why
+         behind its rank in the sweep. *)
       let cluster = make_cluster () in
-      (Runtime.run cluster program).Runtime.makespan)
+      let telemetry = Tilelink_obs.Telemetry.create () in
+      let r = Runtime.run ~telemetry cluster program in
+      let attribution =
+        Tilelink_obs.Attribution.of_spans ~makespan:r.Runtime.makespan
+          (Tilelink_obs.Span.spans (Tilelink_obs.Telemetry.spans telemetry))
+      in
+      ( r.Runtime.makespan,
+        Some
+          attribution.Tilelink_obs.Attribution.buckets
+            .Tilelink_obs.Attribution.exposed_comm ))
     configs

@@ -6,6 +6,11 @@ type 'a evaluation = {
   candidate : 'a;
   config : Design_space.config;
   time : float;
+  exposed_comm_us : float option;
+      (** exposed-communication blame (µs on the critical path) from
+          the causal profiler; [Some] for {!search_programs}
+          candidates, [None] for scalar {!search} evaluators and
+          pre-profiler cache entries *)
 }
 
 type 'a outcome = {

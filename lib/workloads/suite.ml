@@ -1,0 +1,176 @@
+(* The shipped-program sweep: every workload family across a rank and
+   tile-shape sweep, built against the fast test machine.
+
+   One definition serves three consumers — the CLI's `verify` command
+   (static protocol analysis over all of them), the conservation
+   property test (attribution buckets must sum to the makespan on every
+   program), and anything else that wants "all shipped programs" as a
+   corpus.  Building is cheap (no simulation), so the full sweep stays
+   well under a second. *)
+
+open Tilelink_core
+open Tilelink_machine
+
+let sweep_config ~world ~binding ~comm_tile ~compute_tile ~stages ~ring =
+  {
+    Design_space.comm_tile = (comm_tile, 128);
+    compute_tile = (compute_tile, compute_tile);
+    comm_order =
+      (if ring then Tile.Ring_from_self { segments = world }
+       else Tile.Row_major);
+    compute_order =
+      (if ring then Tile.Ring_from_self { segments = world }
+       else Tile.Row_major);
+    binding;
+    stages;
+  }
+
+let programs () =
+  let machine = Calib.test_machine in
+  let suite = ref [] in
+  let add name p = suite := (name, p) :: !suite in
+  (* MLP AG+GEMM, pull and push transfer modes. *)
+  List.iter
+    (fun world ->
+      List.iter
+        (fun comm_tile ->
+          let shapes =
+            { Mlp.m = 8 * world; k = 4; n = 6; world_size = world }
+          in
+          let cfg =
+            sweep_config ~world ~binding:(Design_space.Comm_on_sm 1)
+              ~comm_tile ~compute_tile:2 ~stages:2 ~ring:true
+          in
+          add
+            (Printf.sprintf "mlp_ag_gemm_pull/w%d/t%d" world comm_tile)
+            (Mlp.ag_gemm_program ~config:cfg shapes ~spec_gpu:machine);
+          add
+            (Printf.sprintf "mlp_ag_gemm_push/w%d/t%d" world comm_tile)
+            (Mlp.ag_gemm_program ~transfer:`Push ~config:cfg shapes
+               ~spec_gpu:machine))
+        [ 2; 4 ])
+    [ 2; 4; 8 ];
+  (* MLP GEMM+RS. *)
+  List.iter
+    (fun world ->
+      let shapes =
+        { Mlp.rs_m = 4 * world; rs_k = 3; rs_n = 4; rs_world = world }
+      in
+      let cfg =
+        {
+          Design_space.comm_tile = (2, 2);
+          compute_tile = (2, 2);
+          comm_order = Tile.Row_major;
+          compute_order = Tile.Row_major;
+          binding = Design_space.Comm_on_sm 1;
+          stages = 1;
+        }
+      in
+      add
+        (Printf.sprintf "mlp_gemm_rs/w%d" world)
+        (Mlp.gemm_rs_program ~config:cfg shapes ~spec_gpu:machine))
+    [ 2; 4 ];
+  (* MoE part 1 and part 2 (dynamic routing tables). *)
+  List.iter
+    (fun world ->
+      let spec =
+        {
+          Moe.tokens = 4 * world;
+          hidden = 4;
+          intermediate = 8;
+          experts = 3;
+          topk = 2;
+          world_size = world;
+        }
+      in
+      let route = Moe.routing spec ~seed:5 in
+      add
+        (Printf.sprintf "moe_part1/w%d" world)
+        (Moe.part1_program
+           ~config:
+             {
+               Moe.comm_tile_rows = 2;
+               group_tile_rows = 2;
+               comm_binding = Design_space.Comm_on_sm 1;
+             }
+           spec route ~spec_gpu:machine);
+      add
+        (Printf.sprintf "moe_part2/w%d" world)
+        (Moe.part2_program
+           ~config:
+             {
+               Moe.gg_tile_rows = 2;
+               reduce_tile_rows = 2;
+               rs_tile_rows = 2;
+               reduce_sms = 1;
+               rs_sms = 1;
+             }
+           spec route ~spec_gpu:machine))
+    [ 2; 4 ];
+  (* Sequence-parallel attention and its ring variant. *)
+  List.iter
+    (fun world ->
+      let spec =
+        {
+          Attention.batch_heads = 2;
+          seq = 8 * world;
+          head_dim = 4;
+          world_size = world;
+          causal = false;
+        }
+      in
+      let cfg = { Attention.q_tile = 4; kv_tile = 4 } in
+      add
+        (Printf.sprintf "attention/w%d" world)
+        (Attention.program ~config:cfg spec ~spec_gpu:machine);
+      add
+        (Printf.sprintf "ring_attention/w%d" world)
+        (Ring_attention.program
+           ~config:{ Ring_attention.q_tile = 4; comm_sms = 1 }
+           spec ~spec_gpu:machine))
+    [ 2; 4 ];
+  add "attention_causal/w2"
+    (Attention.program
+       ~config:{ Attention.q_tile = 4; kv_tile = 4 }
+       {
+         Attention.batch_heads = 2;
+         seq = 16;
+         head_dim = 4;
+         world_size = 2;
+         causal = true;
+       }
+       ~spec_gpu:machine);
+  (* Expert-parallel MoE dispatch/combine. *)
+  add "ep_moe/w2"
+    (let spec =
+       {
+         Ep_moe.tokens = 16;
+         hidden = 4;
+         intermediate = 6;
+         experts = 4;
+         topk = 2;
+         world_size = 2;
+       }
+     in
+     Ep_moe.program
+       ~config:{ Ep_moe.tile_rows = 2; comm_binding = Design_space.Comm_on_dma }
+       spec
+       (Ep_moe.routing spec ~seed:13)
+       ~spec_gpu:machine);
+  add "ep_moe/w4"
+    (let spec =
+       {
+         Ep_moe.tokens = 32;
+         hidden = 4;
+         intermediate = 6;
+         experts = 8;
+         topk = 2;
+         world_size = 4;
+       }
+     in
+     Ep_moe.program
+       ~config:{ Ep_moe.tile_rows = 2; comm_binding = Design_space.Comm_on_dma }
+       spec
+       (Ep_moe.routing spec ~seed:13)
+       ~spec_gpu:machine);
+  List.rev !suite

@@ -1,0 +1,8 @@
+(** The shipped-program sweep: every workload family across a rank and
+    tile-shape sweep, built against {!Calib.test_machine}.  Shared by
+    the CLI's [verify] command and the attribution conservation
+    property test. *)
+
+val programs : unit -> (string * Tilelink_core.Program.t) list
+(** Named programs in deterministic order (currently 25).  Building is
+    static — no simulation happens. *)

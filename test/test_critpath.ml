@@ -1,0 +1,394 @@
+(* Tests for the causal profiler: span recording, critical-path
+   extraction, attribution conservation, and regression gating.
+
+   The central property is conservation — the attribution buckets sum
+   to the makespan, exactly on synthetic pipelines and within one time
+   unit on every shipped program — plus the two anchor points of the
+   overlap-efficiency scale: a serial schedule exposes all of its
+   communication (efficiency ~0) and a fully-overlapped compute-bound
+   schedule hides all of it, with the hidden time equal to the measured
+   speedup over the serial schedule. *)
+
+open Tilelink_obs
+open Tilelink_core
+open Tilelink_machine
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic schedules built through the real recording API            *)
+(* ------------------------------------------------------------------ *)
+
+(* Serial schedule: one worker alternates compute and copy, back to
+   back.  Every copy sits on the critical path, so exposed = total and
+   the efficiency is exactly 0. *)
+let record_serial store stages =
+  let worker = Span.fresh_worker store in
+  let t = ref 0.0 in
+  List.iter
+    (fun (c, d) ->
+      Span.record_task store ~kind:Span.Compute ~label:"c" ~rank:0 ~worker
+        ~t0:!t
+        ~t1:(!t +. c);
+      t := !t +. c;
+      Span.record_task store ~kind:Span.Copy ~label:"x" ~rank:0 ~worker
+        ~t0:!t
+        ~t1:(!t +. d);
+      t := !t +. d)
+    stages;
+  !t
+
+(* Overlapped schedule: the compute chain runs back to back on one
+   worker while a second worker performs each stage's copy strictly
+   inside the next stage's compute window (the compute-bound case:
+   every copy is shorter than the compute that hides it).  The last
+   stage has no copy, so the critical path is the pure compute chain
+   and every copy is hidden. *)
+let record_overlapped store stages =
+  let compute_worker = Span.fresh_worker store in
+  let copy_worker = Span.fresh_worker store in
+  let t = ref 0.0 in
+  let n = List.length stages in
+  List.iteri
+    (fun i (c, d) ->
+      Span.record_task store ~kind:Span.Compute ~label:"c" ~rank:0
+        ~worker:compute_worker ~t0:!t
+        ~t1:(!t +. c);
+      t := !t +. c;
+      if i < n - 1 then
+        (* Copy of this stage's tile rides under the next compute. *)
+        Span.record_task store ~kind:Span.Copy ~label:"x" ~rank:0
+          ~worker:copy_worker ~t0:!t
+          ~t1:(!t +. d))
+    stages;
+  !t
+
+(* Random stage list (compute duration, copy duration), integral so
+   the float sums are exact; copies are kept below their own stage's
+   compute here and re-clamped by [compute_bound] where a property
+   needs full overlap. *)
+let stages_gen =
+  QCheck.Gen.(
+    list_size (int_range 2 12)
+      (map
+         (fun (c, d) -> (float_of_int c, float_of_int (min d (c - 1))))
+         (pair (int_range 2 50) (int_range 1 49))))
+
+let attribution_of store ~makespan =
+  Attribution.of_spans ~makespan (Span.spans store)
+
+let prop_serial_conserved_and_exposed =
+  QCheck.Test.make ~name:"serial schedule: conserved, efficiency 0"
+    ~count:200 (QCheck.make stages_gen) (fun stages ->
+      let store = Span.create () in
+      let makespan = record_serial store stages in
+      let a = attribution_of store ~makespan in
+      Attribution.conserved ~tolerance:1e-6 a
+      && Float.abs a.Attribution.efficiency <= 1e-9)
+
+(* Clamp each copy strictly under the compute that hides it — the
+   *next* stage's — and drop the last stage's copy (nothing left to
+   hide it behind).  Both schedules then perform identical work, so
+   their makespans are directly comparable. *)
+let compute_bound stages =
+  let rec fix = function
+    | (c, raw) :: ((c2, _) :: _ as rest) ->
+      (c, Float.max 1.0 (Float.min raw (c2 -. 1.0))) :: fix rest
+    | [ (c, _) ] -> [ (c, 0.0) ]
+    | [] -> []
+  in
+  fix stages
+
+let prop_overlap_matches_speedup =
+  QCheck.Test.make
+    ~name:"compute-bound overlap: conserved, efficiency 1, hidden time = \
+           serial speedup"
+    ~count:200 (QCheck.make stages_gen) (fun raw_stages ->
+      let stages = compute_bound raw_stages in
+      let serial_store = Span.create () in
+      let serial_makespan = record_serial serial_store stages in
+      let serial = attribution_of serial_store ~makespan:serial_makespan in
+      let olap_store = Span.create () in
+      let olap_makespan = record_overlapped olap_store stages in
+      let olap = attribution_of olap_store ~makespan:olap_makespan in
+      Attribution.conserved ~tolerance:1e-6 serial
+      && Attribution.conserved ~tolerance:1e-6 olap
+      && Float.abs serial.Attribution.efficiency <= 1e-9
+      && Float.abs (olap.Attribution.efficiency -. 1.0) <= 1e-9
+      && Float.abs (olap.Attribution.hidden_comm -. olap.Attribution.total_comm)
+         <= 1e-6
+      (* Measured speedup over the serial schedule is exactly the
+         communication the overlapped schedule hid. *)
+      && Float.abs
+           (serial_makespan -. olap_makespan -. olap.Attribution.hidden_comm)
+         <= 1e-6)
+
+(* Random DAGs with notify/wait edges: producer computes then notifies,
+   consumer blocks and resolves against the delivery, both chained in
+   program order.  Conservation must hold whatever the timings. *)
+let notify_wait_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 15)
+      (triple (int_range 1 40) (int_range 1 40) (int_range 0 30)))
+
+let prop_notify_wait_conserved =
+  QCheck.Test.make
+    ~name:"producer/consumer with notify->wait edges stays conserved"
+    ~count:200 (QCheck.make notify_wait_gen) (fun stages ->
+      let store = Span.create () in
+      let producer = Span.fresh_worker store in
+      let consumer = Span.fresh_worker store in
+      let pt = ref 0.0 and ct = ref 0.0 in
+      List.iteri
+        (fun i (c_prod, c_cons, head_start) ->
+          let c_prod = float_of_int c_prod
+          and c_cons = float_of_int c_cons
+          and head_start = float_of_int head_start in
+          Span.record_task store ~kind:Span.Compute ~label:"produce" ~rank:0
+            ~worker:producer ~t0:!pt
+            ~t1:(!pt +. c_prod);
+          pt := !pt +. c_prod;
+          let pred = Span.cursor store ~worker:producer in
+          Span.record_notify ?pred store ~label:"notify" ~rank:0 ~key:"k"
+            ~value:(i + 1) ~t:!pt;
+          (* Consumer may already be past the delivery (head start) or
+             may block until it lands. *)
+          let wait_t0 = Float.max 0.0 (!ct -. head_start) in
+          let wait_t1 = Float.max wait_t0 !pt in
+          if wait_t1 > wait_t0 then
+            Span.record_wait store ~label:"wait" ~rank:1 ~worker:consumer
+              ~key:"k" ~threshold:(i + 1) ~t0:wait_t0 ~t1:wait_t1;
+          ct := Float.max !ct wait_t1;
+          Span.record_task store ~kind:Span.Compute ~label:"consume" ~rank:1
+            ~worker:consumer ~t0:!ct
+            ~t1:(!ct +. c_cons);
+          ct := !ct +. c_cons)
+        stages;
+      let makespan = Float.max !pt !ct in
+      let a = attribution_of store ~makespan in
+      Attribution.conserved ~tolerance:1e-6 a)
+
+(* ------------------------------------------------------------------ *)
+(* Critical-path structure on a hand-built scenario                    *)
+(* ------------------------------------------------------------------ *)
+
+(* rank 0 computes [0,10], notifies; rank 1 blocks [2,10] on the
+   signal, then computes [10,18].  The path must be: compute(r0),
+   wait(r1), compute(r1), with the wait charged 8 and blamed on the
+   key. *)
+let test_critpath_shape () =
+  let store = Span.create () in
+  let w0 = Span.fresh_worker store in
+  let w1 = Span.fresh_worker store in
+  Span.record_task store ~kind:Span.Compute ~label:"a" ~rank:0 ~worker:w0
+    ~t0:0.0 ~t1:10.0;
+  let pred = Span.cursor store ~worker:w0 in
+  Span.record_notify ?pred store ~label:"sig" ~rank:0 ~key:"pc[0]" ~value:1
+    ~t:10.0;
+  Span.record_wait store ~label:"wait" ~rank:1 ~worker:w1 ~key:"pc[0]"
+    ~threshold:1 ~t0:2.0 ~t1:10.0;
+  Span.record_task store ~kind:Span.Compute ~label:"b" ~rank:1 ~worker:w1
+    ~t0:10.0 ~t1:18.0;
+  let cp = Option.get (Critpath.extract ~makespan:18.0 (Span.spans store)) in
+  let kinds =
+    List.map (fun s -> s.Critpath.span.Span.kind) cp.Critpath.path
+  in
+  Alcotest.(check bool)
+    "path is compute, notify, wait, compute" true
+    (kinds = [ Span.Compute; Span.Notify; Span.Wait_stall; Span.Compute ]
+    || kinds = [ Span.Compute; Span.Wait_stall; Span.Compute ]);
+  check_float "no tail slack" 0.0 cp.Critpath.tail_slack;
+  let charged =
+    List.fold_left (fun acc s -> acc +. s.Critpath.charged) 0.0
+      cp.Critpath.path
+  in
+  let gaps =
+    List.fold_left (fun acc s -> acc +. s.Critpath.gap_before) 0.0
+      cp.Critpath.path
+  in
+  check_float "charges + gaps = makespan" 18.0 (charged +. gaps);
+  (match Critpath.key_blame cp with
+  | [ (key, blame) ] ->
+    Alcotest.(check string) "blamed key" "pc[0]" key;
+    check_float "blocked duration on the channel" 8.0 blame
+  | other ->
+    Alcotest.failf "expected one blamed key, got %d" (List.length other));
+  let a = attribution_of store ~makespan:18.0 in
+  (* Causal charging: the consumer's block [2,10] is covered by the
+     producer's compute [0,10] reached through the notify edge, so the
+     wall-clock lands in the compute bucket — speeding the producer up
+     is what would shrink the makespan. *)
+  check_float "wait stall telescopes to the producer" 0.0
+    a.Attribution.buckets.Attribution.wait_stall;
+  check_float "compute bucket carries both sides" 18.0
+    a.Attribution.buckets.Attribution.compute
+
+let test_empty_spans_all_straggler () =
+  let a = Attribution.of_spans ~makespan:42.0 [] in
+  Alcotest.(check bool) "conserved" true (Attribution.conserved a);
+  check_float "all straggler" 42.0 a.Attribution.buckets.Attribution.straggler;
+  check_float "efficiency defaults to 1" 1.0 a.Attribution.efficiency
+
+(* ------------------------------------------------------------------ *)
+(* Conservation on every shipped program                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_with_telemetry program =
+  let telemetry = Telemetry.create () in
+  let cluster =
+    Cluster.create Calib.test_machine
+      ~world_size:(Program.world_size program)
+  in
+  let result = Runtime.run ~telemetry cluster program in
+  (result, Span.spans (Telemetry.spans telemetry))
+
+let test_suite_conservation () =
+  let programs = Tilelink_workloads.Suite.programs () in
+  Alcotest.(check bool)
+    "sweep covers the full corpus" true
+    (List.length programs >= 25);
+  List.iter
+    (fun (name, program) ->
+      let result, spans = run_with_telemetry program in
+      if spans = [] then Alcotest.failf "%s: no spans recorded" name;
+      let a = Attribution.of_spans ~makespan:result.Runtime.makespan spans in
+      if not (Attribution.conserved a) then
+        Alcotest.failf "%s: bucket sum %.3f vs makespan %.3f" name
+          (Attribution.bucket_sum a) a.Attribution.makespan)
+    programs
+
+let test_critpath_deterministic () =
+  let _, program = List.hd (Tilelink_workloads.Suite.programs ()) in
+  let render () =
+    let result, spans = run_with_telemetry program in
+    match Critpath.extract ~makespan:result.Runtime.makespan spans with
+    | None -> "none"
+    | Some cp -> Json.to_string (Critpath.to_json cp)
+  in
+  Alcotest.(check string) "byte-identical across runs" (render ()) (render ())
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rows =
+  [
+    { Regress.r_config = "llama"; r_kernel = "ag_gemm"; r_makespan_us = 100.0 };
+    { Regress.r_config = "llama"; r_kernel = "gemm_rs"; r_makespan_us = 50.0 };
+  ]
+
+let test_regress_self_diff_clean () =
+  let report = Regress.compare_rows ~baseline:rows ~candidate:rows () in
+  Alcotest.(check bool) "self-diff passes" true (Regress.ok report);
+  Alcotest.(check int) "no regressions" 0 report.Regress.regressions
+
+let test_regress_flags_slowdown () =
+  let slow =
+    List.map
+      (fun r -> { r with Regress.r_makespan_us = r.Regress.r_makespan_us *. 1.06 })
+      rows
+  in
+  let report = Regress.compare_rows ~baseline:rows ~candidate:slow () in
+  Alcotest.(check bool) "6% over a 5% gate fails" false (Regress.ok report);
+  Alcotest.(check int) "both rows regressed" 2 report.Regress.regressions;
+  let within =
+    List.map
+      (fun r -> { r with Regress.r_makespan_us = r.Regress.r_makespan_us *. 1.04 })
+      rows
+  in
+  Alcotest.(check bool) "4% within the 5% gate passes" true
+    (Regress.ok (Regress.compare_rows ~baseline:rows ~candidate:within ()))
+
+let test_regress_missing_row_is_regression () =
+  let report =
+    Regress.compare_rows ~baseline:rows ~candidate:[ List.hd rows ] ()
+  in
+  Alcotest.(check bool) "dropped row fails the gate" false (Regress.ok report);
+  (* A row only the candidate has is informational, not a failure. *)
+  let added =
+    Regress.compare_rows ~baseline:[ List.hd rows ] ~candidate:rows ()
+  in
+  Alcotest.(check bool) "added row passes" true (Regress.ok added)
+
+let test_regress_parses_bench_artifact () =
+  let doc =
+    {|{"suite":"smoke","rows":[
+        {"config":"smoke","kernel":"ag_gemm","makespan_us":43.0,"overlap_ratio":0.5},
+        {"config":"smoke","kernel":"gemm_rs","makespan_us":79.6,"overlap_ratio":0.4}]}|}
+  in
+  match Regress.rows_of_string doc with
+  | Error msg -> Alcotest.failf "rows_of_string: %s" msg
+  | Ok parsed ->
+    Alcotest.(check int) "two rows" 2 (List.length parsed);
+    Alcotest.(check bool) "keys preserved" true
+      ((List.hd parsed).Regress.r_config = "smoke")
+
+(* ------------------------------------------------------------------ *)
+(* Journal severity filter                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_min_level () =
+  let j = Journal.create () in
+  Journal.record j ~t:1.0
+    (Journal.Signal_set { key = "k"; rank = 0; amount = 1; value = 1 });
+  Journal.record j ~t:2.0
+    (Journal.Fault_injected { kind = "drop"; key = "k"; rank = 0 });
+  Journal.record j ~t:3.0
+    (Journal.Stall_detected { key = "k"; rank = 0; threshold = 1; value = 0 });
+  Journal.record j ~t:4.0 (Journal.Deadlock { message = "stuck"; blocked = 2 });
+  let count ?min_level () = List.length (Journal.entries ?min_level j) in
+  Alcotest.(check int) "no filter keeps all" 4 (count ());
+  Alcotest.(check int) "debug keeps all" 4 (count ~min_level:Journal.Debug ());
+  Alcotest.(check int) "info drops chatter" 3 (count ~min_level:Journal.Info ());
+  Alcotest.(check int) "warn keeps stall + deadlock" 2
+    (count ~min_level:Journal.Warn ());
+  Alcotest.(check int) "error keeps deadlock only" 1
+    (count ~min_level:Journal.Error ());
+  (* The JSON export carries the level and respects the filter. *)
+  let doc = Journal.to_json ~min_level:Journal.Warn j in
+  match Json.member "entries" doc with
+  | Some (Json.List entries) ->
+    Alcotest.(check int) "filtered export" 2 (List.length entries);
+    Alcotest.(check bool) "entries carry a level field" true
+      (List.for_all
+         (fun e ->
+           match Option.bind (Json.member "level" e) Json.to_str with
+           | Some ("warn" | "error") -> true
+           | _ -> false)
+         entries)
+  | _ -> Alcotest.fail "journal export lacks entries"
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "critpath"
+    [
+      ( "conservation",
+        [
+          qc prop_serial_conserved_and_exposed;
+          qc prop_overlap_matches_speedup;
+          qc prop_notify_wait_conserved;
+          Alcotest.test_case "empty spans" `Quick
+            test_empty_spans_all_straggler;
+          Alcotest.test_case "all shipped programs" `Quick
+            test_suite_conservation;
+        ] );
+      ( "critical path",
+        [
+          Alcotest.test_case "shape and blame" `Quick test_critpath_shape;
+          Alcotest.test_case "deterministic" `Quick
+            test_critpath_deterministic;
+        ] );
+      ( "regress",
+        [
+          Alcotest.test_case "self-diff clean" `Quick
+            test_regress_self_diff_clean;
+          Alcotest.test_case "flags slowdown" `Quick
+            test_regress_flags_slowdown;
+          Alcotest.test_case "missing row" `Quick
+            test_regress_missing_row_is_regression;
+          Alcotest.test_case "parses bench artifact" `Quick
+            test_regress_parses_bench_artifact;
+        ] );
+      ( "journal levels",
+        [ Alcotest.test_case "min_level filter" `Quick test_journal_min_level ] );
+    ]

@@ -455,7 +455,13 @@ let test_profiled_run_populates_telemetry () =
   Alcotest.(check bool) "journal saw signal traffic" true
     (Journal.length (Telemetry.journal telemetry) > 0);
   Alcotest.(check bool) "lane utilization gauges" true
-    (Metrics.gauge_value m "util.sm.rank0" <> None)
+    (Metrics.gauge_value m "util.sm.rank0" <> None);
+  Alcotest.(check bool) "causal spans recorded" true
+    (Span.length (Telemetry.spans telemetry) > 0);
+  Alcotest.(check bool) "compute and copy spans present" true
+    (let spans = Span.spans (Telemetry.spans telemetry) in
+     List.exists (fun s -> s.Span.kind = Span.Compute) spans
+     && List.exists (fun s -> s.Span.kind = Span.Copy) spans)
 
 let test_disabled_telemetry_is_invisible () =
   let run telemetry =
@@ -474,7 +480,8 @@ let test_disabled_telemetry_is_invisible () =
     "no metrics recorded" []
     (Metrics.histogram_names (Telemetry.metrics off));
   Alcotest.(check int) "no journal entries" 0
-    (Journal.length (Telemetry.journal off))
+    (Journal.length (Telemetry.journal off));
+  Alcotest.(check int) "no spans" 0 (Span.length (Telemetry.spans off))
 
 let () =
   Alcotest.run "obs"
