@@ -91,6 +91,7 @@ let config ~world ~binding ~comm_tile ~compute_tile ~stages ~ring =
        else Tile.Row_major);
     binding;
     stages;
+    micro_block = 0;
   }
 
 let print_rank0_timeline cluster =
@@ -322,6 +323,7 @@ let autotune workload world m k n jobs cache_path =
             Design_space.Comm_hybrid { dma_fraction = 0.5; sms = 12 };
           ];
         stage_choices = [ 1; 2 ];
+        micro_blocks = [ 0 ];
       }
     in
     ( Printf.sprintf "autotune:ag_gemm:m=%d,k=%d,n=%d" m k n,
@@ -344,6 +346,7 @@ let autotune workload world m k n jobs cache_path =
             Design_space.Comm_hybrid { dma_fraction = 0.5; sms = 12 };
           ];
         stage_choices = [ 1; 2 ];
+        micro_blocks = [ 0 ];
       }
     in
     ( Printf.sprintf "autotune:gemm_rs:m=%d,k=%d,n=%d" m k n,
@@ -418,6 +421,7 @@ let ablation world m k n jobs =
       compute_order = ring;
       binding = Design_space.Comm_on_dma;
       stages = 2;
+      micro_block = 0;
     }
   in
   let run_axis axis configs =
@@ -477,10 +481,36 @@ let ablation_cmd =
 (* validate                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let validate kernel =
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sequential", `Sequential); ("parallel", `Parallel) ])
+        `Sequential
+    & info [ "backend" ] ~docv:"sequential|parallel"
+        ~doc:
+          "Execution backend: the sequential interpreter or the \
+           domain-per-rank parallel backend.")
+
+let domains_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Worker domains for the parallel backend (ignored otherwise).")
+
+let resolve_backend backend domains =
+  match backend with
+  | `Sequential -> `Sequential
+  | `Parallel -> `Parallel domains
+
+let validate kernel backend domains =
+  let backend = resolve_backend backend domains in
   let world = 4 in
   let machine = Calib.test_machine in
-  let check name ok = Printf.printf "%-28s %s\n" name (if ok then "ok" else "MISMATCH") in
+  let failed = ref false in
+  let check name ok =
+    Printf.printf "%-28s %s\n" name (if ok then "ok" else "MISMATCH");
+    if not ok then failed := true
+  in
   (match kernel with
   | `Ag_gemm ->
     let shapes = { Mlp.m = 16; k = 4; n = 6; world_size = world } in
@@ -491,7 +521,7 @@ let validate kernel =
     let memory = Mlp.ag_gemm_alloc shapes ~seed:1 in
     let cluster = Cluster.create machine ~world_size:world in
     ignore
-      (Runtime.run ~data:true ~memory cluster
+      (Runtime.run ~data:true ~memory ~backend cluster
          (Mlp.ag_gemm_program ~config:cfg shapes ~spec_gpu:machine));
     check "ag-gemm (4 ranks)"
       (List.for_all
@@ -510,12 +540,13 @@ let validate kernel =
         compute_order = Tile.Row_major;
         binding = Design_space.Comm_on_sm 1;
         stages = 1;
+        micro_block = 0;
       }
     in
     let memory = Mlp.gemm_rs_alloc shapes ~seed:2 in
     let cluster = Cluster.create machine ~world_size:world in
     ignore
-      (Runtime.run ~data:true ~memory cluster
+      (Runtime.run ~data:true ~memory ~backend cluster
          (Mlp.gemm_rs_program ~config:cfg shapes ~spec_gpu:machine));
     check "gemm-rs (4 ranks)"
       (List.for_all
@@ -539,7 +570,7 @@ let validate kernel =
     let memory = Moe.part2_alloc moe ~seed:4 in
     let cluster = Cluster.create machine ~world_size:world in
     ignore
-      (Runtime.run ~data:true ~memory cluster
+      (Runtime.run ~data:true ~memory ~backend cluster
          (Moe.part2_program moe route ~spec_gpu:machine
             ~config:
               {
@@ -555,13 +586,121 @@ let validate kernel =
            Tilelink_tensor.Check.close ~atol:1e-8
              (Moe.part2_reference memory moe route ~rank)
              (Memory.find memory ~rank ~name:"out"))
-         [ 0; 1; 2; 3 ]))
+         [ 0; 1; 2; 3 ]));
+  if !failed then exit 1
 
 let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
-       ~doc:"Run a kernel with real data and compare to the reference.")
-    Term.(const validate $ kernel_arg)
+       ~doc:
+         "Run a kernel with real data and compare to the reference, on \
+          either execution backend (--backend parallel --domains N).")
+    Term.(const validate $ kernel_arg $ backend_arg $ domains_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sanity                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Every kernel variant against the scalar reference, bit for bit: the
+   gemm microkernel at each shipped block size against the
+   bounds-checked naive loop, then every shipped workload program
+   sequential vs parallel.  Exact equality, not tolerance — variant
+   selection (autotuned block sizes, backend choice) must never change
+   numerics. *)
+
+module Ts = Tilelink_tensor
+
+let sanity_bits_equal a b =
+  let da = Ts.Tensor.data a and db = Ts.Tensor.data b in
+  Array.length da = Array.length db
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       da db
+
+let sanity_memories_equal ma mb =
+  List.for_all
+    (fun rank ->
+      let names = Memory.buffers ma ~rank in
+      names = Memory.buffers mb ~rank
+      && List.for_all
+           (fun name ->
+             sanity_bits_equal
+               (Memory.find ma ~rank ~name)
+               (Memory.find mb ~rank ~name))
+           names)
+    (List.init (Memory.world_size ma) Fun.id)
+
+let sanity check domains =
+  let failures = ref 0 in
+  let report name ok =
+    Printf.printf "%-52s %s\n" name (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  (* --- gemm microkernel variants --- *)
+  let gemm_shapes = [ (3, 5, 2); (8, 12, 6); (16, 16, 16); (17, 31, 13) ] in
+  List.iter
+    (fun (m, k, n) ->
+      let a = Ts.Tensor.random ~seed:(m + k) (Ts.Shape.of_list [ m; k ]) in
+      let b = Ts.Tensor.random ~seed:(k + n) (Ts.Shape.of_list [ k; n ]) in
+      let reference = Ts.Linalg.gemm_naive a b in
+      report
+        (Printf.sprintf "gemm %dx%dx%d ikj vs naive" m k n)
+        (sanity_bits_equal reference (Ts.Linalg.gemm a b));
+      List.iter
+        (fun block ->
+          report
+            (Printf.sprintf "gemm %dx%dx%d block=%d vs naive" m k n block)
+            (sanity_bits_equal reference (Ts.Linalg.gemm ~block a b)))
+        [ 2; 4; 8; 16; 32; 64 ])
+    gemm_shapes;
+  (* --- every shipped workload, sequential vs parallel --- *)
+  let machine = Calib.test_machine in
+  let run_case backend case =
+    let memory, program = case () in
+    let cluster =
+      Cluster.create machine ~world_size:(Program.world_size program)
+    in
+    ignore (Runtime.run ~data:true ~memory ~backend cluster program);
+    memory
+  in
+  List.iter
+    (fun (name, case) ->
+      let mem_seq = run_case `Sequential case in
+      let mem_par = run_case (`Parallel domains) case in
+      report
+        (Printf.sprintf "%s seq vs par(%d)" name domains)
+        (sanity_memories_equal mem_seq mem_par))
+    (Suite.data_cases ());
+  (* --- self-test: the comparator must trip on a flipped bit --- *)
+  if check then begin
+    let t = Ts.Tensor.random ~seed:3 (Ts.Shape.of_list [ 4; 4 ]) in
+    let corrupt = Ts.Tensor.copy t in
+    (Ts.Tensor.data corrupt).(5) <- (Ts.Tensor.data corrupt).(5) +. 1e-12;
+    report "self-test: comparator detects flipped bit"
+      (not (sanity_bits_equal t corrupt))
+  end;
+  if !failures > 0 then begin
+    Printf.printf "%d sanity failure(s)\n" !failures;
+    exit 1
+  end
+  else print_endline "all kernel variants and backends agree bit for bit"
+
+let sanity_cmd =
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Also self-test the bitwise comparator on a deliberately \
+             corrupted tensor.")
+  in
+  Cmd.v
+    (Cmd.info "sanity"
+       ~doc:
+         "Bit-identity sweep: every gemm microkernel variant against the \
+          scalar reference, and every shipped workload program sequential \
+          vs parallel.")
+    Term.(const sanity $ check_arg $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report                                                              *)
@@ -1521,6 +1660,7 @@ let () =
             autotune_cmd;
             ablation_cmd;
             validate_cmd;
+            sanity_cmd;
             attention_cmd;
             emit_cmd;
             report_cmd;

@@ -31,6 +31,7 @@ let () =
           Design_space.Comm_hybrid { dma_fraction = 0.5; sms = 12 };
         ];
       stage_choices = [ 1; 2 ];
+      micro_blocks = [ 0 ];
     }
   in
   let configs = Design_space.enumerate space in

@@ -30,6 +30,7 @@ let () =
       compute_order = Tile.Row_major;
       binding = Design_space.Comm_on_sm 1;
       stages = 1;
+      micro_block = 0;
     }
   in
   let memory = Mlp.gemm_rs_alloc rs_small ~seed:3 in

@@ -25,6 +25,7 @@ let () =
       compute_order = Tile.Ring_from_self { segments = 4 };
       binding = Design_space.Comm_on_dma;       (* gather on the copy engine   *)
       stages = 2;                               (* software pipeline depth     *)
+      micro_block = 0;
     }
   in
   let shapes = { Mlp.m = 16; k = 4; n = 6; world_size = 4 } in

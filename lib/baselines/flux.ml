@@ -31,6 +31,7 @@ let ag_gemm_config ~world_size =
     compute_order = Tile.Ring_from_self { segments = world_size };
     binding = Design_space.Comm_on_sm comm_sms;
     stages = 2;
+    micro_block = 0;
   }
 
 let gemm_rs_config ~world_size =
@@ -44,6 +45,7 @@ let gemm_rs_config ~world_size =
     compute_order = Tile.Ring_from_self { segments = world_size };
     binding = Design_space.Comm_on_sm comm_sms;
     stages = 2;
+    micro_block = 0;
   }
 
 let ag_gemm_time (spec : Spec.t) ~world_size ~m ~k ~n =

@@ -134,6 +134,7 @@ let mlp_case () =
       compute_order = Tile.Ring_from_self { segments = world };
       binding = Design_space.Comm_on_sm 1;
       stages = 2;
+      micro_block = 0;
     }
   in
   {

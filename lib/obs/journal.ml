@@ -71,23 +71,34 @@ type entry = { t : float; seq : int; event : event }
 type t = {
   capacity : int;
   buf : entry option array;
+  lock : Mutex.t;
+  (* Serializes ring writes: worker domains of the parallel backend
+     record concurrently, and slot claim + cursor bump must be one
+     atomic step or entries overwrite each other.  The [enabled] check
+     stays outside the lock. *)
   mutable next : int; (* total events ever recorded *)
   mutable enabled : bool;
 }
 
 let create ?(capacity = 65536) ?(enabled = true) () =
   if capacity <= 0 then invalid_arg "Journal.create: capacity";
-  { capacity; buf = Array.make capacity None; next = 0; enabled }
+  {
+    capacity;
+    buf = Array.make capacity None;
+    lock = Mutex.create ();
+    next = 0;
+    enabled;
+  }
 
 let enabled t = t.enabled
 let set_enabled t flag = t.enabled <- flag
 let capacity t = t.capacity
 
 let record t ~t:time event =
-  if t.enabled then begin
-    t.buf.(t.next mod t.capacity) <- Some { t = time; seq = t.next; event };
-    t.next <- t.next + 1
-  end
+  if t.enabled then
+    Mutex.protect t.lock (fun () ->
+        t.buf.(t.next mod t.capacity) <- Some { t = time; seq = t.next; event };
+        t.next <- t.next + 1)
 
 let length t = min t.next t.capacity
 let dropped t = max 0 (t.next - t.capacity)

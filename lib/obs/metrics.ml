@@ -56,6 +56,11 @@ type histogram = {
 
 type t = {
   mutable enabled : bool;
+  lock : Mutex.t;
+  (* Serializes every recording mutation: the parallel backend calls
+     [inc]/[observe] from worker domains.  The [enabled] check stays
+     outside the lock so a disabled registry still costs one load and
+     one branch on the hot path. *)
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
@@ -64,6 +69,7 @@ type t = {
 let create ?(enabled = true) () =
   {
     enabled;
+    lock = Mutex.create ();
     counters = Hashtbl.create 32;
     gauges = Hashtbl.create 32;
     histograms = Hashtbl.create 32;
@@ -87,41 +93,44 @@ let find_or_add table name fresh =
 let inc t ?(by = 1) name =
   if t.enabled then begin
     if by < 0 then invalid_arg "Metrics.inc: counters are monotonic";
-    let c = find_or_add t.counters name (fun () -> { c_value = 0 }) in
-    c.c_value <- c.c_value + by
+    Mutex.protect t.lock (fun () ->
+        let c = find_or_add t.counters name (fun () -> { c_value = 0 }) in
+        c.c_value <- c.c_value + by)
   end
 
 let set_gauge t name v =
   if t.enabled then
-    let g = find_or_add t.gauges name (fun () -> { g_value = 0.0 }) in
-    g.g_value <- v
+    Mutex.protect t.lock (fun () ->
+        let g = find_or_add t.gauges name (fun () -> { g_value = 0.0 }) in
+        g.g_value <- v)
 
 let add_gauge t name v =
   if t.enabled then
-    let g = find_or_add t.gauges name (fun () -> { g_value = 0.0 }) in
-    g.g_value <- g.g_value +. v
+    Mutex.protect t.lock (fun () ->
+        let g = find_or_add t.gauges name (fun () -> { g_value = 0.0 }) in
+        g.g_value <- g.g_value +. v)
 
 let observe t name v =
-  if t.enabled then begin
-    let h =
-      find_or_add t.histograms name (fun () ->
-          {
-            h_count = 0;
-            h_sum = 0.0;
-            h_min = infinity;
-            h_max = neg_infinity;
-            h_buckets = Array.make (num_bounds + 1) 0;
-            h_samples = samples_create ();
-          })
-    in
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v;
-    h.h_min <- Float.min h.h_min v;
-    h.h_max <- Float.max h.h_max v;
-    let i = bucket_index v in
-    h.h_buckets.(i) <- h.h_buckets.(i) + 1;
-    samples_push h.h_samples v
-  end
+  if t.enabled then
+    Mutex.protect t.lock (fun () ->
+        let h =
+          find_or_add t.histograms name (fun () ->
+              {
+                h_count = 0;
+                h_sum = 0.0;
+                h_min = infinity;
+                h_max = neg_infinity;
+                h_buckets = Array.make (num_bounds + 1) 0;
+                h_samples = samples_create ();
+              })
+        in
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum +. v;
+        h.h_min <- Float.min h.h_min v;
+        h.h_max <- Float.max h.h_max v;
+        let i = bucket_index v in
+        h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+        samples_push h.h_samples v)
 
 (* ------------------------------------------------------------------ *)
 (* Reading                                                             *)

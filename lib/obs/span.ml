@@ -55,6 +55,11 @@ type t = {
      delivery (Notify and watchdog Retry spans) — the wait-resolution
      search space. *)
   candidates : (string, (int * int) list ref) Hashtbl.t;
+  lock : Mutex.t;
+  (* Serializes recording: span ids come from [len], so id allocation
+     and store append must be one atomic step when parallel-backend
+     worker domains record concurrently.  The [enabled] check stays
+     outside the lock. *)
   mutable enabled : bool;
 }
 
@@ -79,6 +84,7 @@ let create ?(enabled = true) () =
     next_worker = 0;
     last_on_worker = Hashtbl.create 32;
     candidates = Hashtbl.create 32;
+    lock = Mutex.create ();
     enabled;
   }
 
@@ -87,9 +93,10 @@ let set_enabled t flag = t.enabled <- flag
 let length t = t.len
 
 let fresh_worker t =
-  let w = t.next_worker in
-  t.next_worker <- w + 1;
-  w
+  Mutex.protect t.lock (fun () ->
+      let w = t.next_worker in
+      t.next_worker <- w + 1;
+      w)
 
 let cursor t ~worker = Hashtbl.find_opt t.last_on_worker worker
 
@@ -111,12 +118,13 @@ let chain t ~worker =
     | None -> []
 
 let record_task t ~kind ~label ~rank ~worker ~t0 ~t1 =
-  if t.enabled then begin
-    let id = t.len in
-    let preds = chain t ~worker in
-    push t { id; kind; label; rank; worker; t0; t1; key = None; value = None; preds };
-    if worker >= 0 then Hashtbl.replace t.last_on_worker worker id
-  end
+  if t.enabled then
+    Mutex.protect t.lock (fun () ->
+        let id = t.len in
+        let preds = chain t ~worker in
+        push t
+          { id; kind; label; rank; worker; t0; t1; key = None; value = None; preds };
+        if worker >= 0 then Hashtbl.replace t.last_on_worker worker id)
 
 let add_candidate t ~key ~id ~value =
   match Hashtbl.find_opt t.candidates key with
@@ -129,48 +137,48 @@ let add_candidate t ~key ~id ~value =
    worker-chained: delivery can happen on the scheduler's time, long
    after the issuing worker moved on. *)
 let record_notify ?pred t ~label ~rank ~key ~value ~t:at =
-  if t.enabled then begin
-    let id = t.len in
-    let preds = match pred with Some p -> [ p ] | None -> [] in
-    push t
-      {
-        id;
-        kind = Notify;
-        label;
-        rank;
-        worker = -1;
-        t0 = at;
-        t1 = at;
-        key = Some key;
-        value = Some value;
-        preds;
-      };
-    add_candidate t ~key ~id ~value
-  end
+  if t.enabled then
+    Mutex.protect t.lock (fun () ->
+        let id = t.len in
+        let preds = match pred with Some p -> [ p ] | None -> [] in
+        push t
+          {
+            id;
+            kind = Notify;
+            label;
+            rank;
+            worker = -1;
+            t0 = at;
+            t1 = at;
+            key = Some key;
+            value = Some value;
+            preds;
+          };
+        add_candidate t ~key ~id ~value)
 
 (* A watchdog re-issue that force-raised [key] to [value]: chained on
    the watchdog's own worker and registered as a delivery so waits it
    released resolve onto it. *)
 let record_retry t ~label ~rank ~worker ~key ~value ~t0 ~t1 =
-  if t.enabled then begin
-    let id = t.len in
-    let preds = chain t ~worker in
-    push t
-      {
-        id;
-        kind = Retry;
-        label;
-        rank;
-        worker;
-        t0;
-        t1;
-        key = Some key;
-        value = Some value;
-        preds;
-      };
-    if worker >= 0 then Hashtbl.replace t.last_on_worker worker id;
-    add_candidate t ~key ~id ~value
-  end
+  if t.enabled then
+    Mutex.protect t.lock (fun () ->
+        let id = t.len in
+        let preds = chain t ~worker in
+        push t
+          {
+            id;
+            kind = Retry;
+            label;
+            rank;
+            worker;
+            t0;
+            t1;
+            key = Some key;
+            value = Some value;
+            preds;
+          };
+        if worker >= 0 then Hashtbl.replace t.last_on_worker worker id;
+        add_candidate t ~key ~id ~value)
 
 (* The delivery that released a wait: the chronologically first one on
    the key whose post-delivery value met the threshold.  Candidate
@@ -184,27 +192,27 @@ let resolve t ~key ~threshold =
       None !cell
 
 let record_wait t ~label ~rank ~worker ~key ~threshold ~t0 ~t1 =
-  if t.enabled then begin
-    let id = t.len in
-    let preds =
-      chain t ~worker
-      @ (match resolve t ~key ~threshold with Some p -> [ p ] | None -> [])
-    in
-    push t
-      {
-        id;
-        kind = Wait_stall;
-        label;
-        rank;
-        worker;
-        t0;
-        t1;
-        key = Some key;
-        value = None;
-        preds;
-      };
-    if worker >= 0 then Hashtbl.replace t.last_on_worker worker id
-  end
+  if t.enabled then
+    Mutex.protect t.lock (fun () ->
+        let id = t.len in
+        let preds =
+          chain t ~worker
+          @ (match resolve t ~key ~threshold with Some p -> [ p ] | None -> [])
+        in
+        push t
+          {
+            id;
+            kind = Wait_stall;
+            label;
+            rank;
+            worker;
+            t0;
+            t1;
+            key = Some key;
+            value = None;
+            preds;
+          };
+        if worker >= 0 then Hashtbl.replace t.last_on_worker worker id)
 
 let spans t = Array.to_list (Array.sub t.store 0 t.len)
 

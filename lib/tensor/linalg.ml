@@ -2,9 +2,18 @@
 
    These are the reference kernels that both sides of every correctness
    test share: the overlapped tile programs must reproduce exactly what
-   these plain loops compute. *)
+   these plain loops compute.
 
-let gemm ?(accumulate = false) ?(out : Tensor.t option) a b =
+   Two implementations of the same contraction live here.  [gemm_naive]
+   is the fully bounds-checked textbook loop and is the bit-level
+   ground truth.  [gemm] validates shapes once at entry and then runs
+   an unchecked i-k-j kernel — optionally cache-blocked via [~block] —
+   that performs, for every output element, the *same additions in the
+   same order* as the naive loop.  Bit-identity between the two (and
+   hence between every tuned block size) is what lets the autotuner
+   treat the block edge as a pure speed knob. *)
+
+let gemm_naive ?(accumulate = false) ?(out : Tensor.t option) a b =
   let m = Tensor.rows a and k = Tensor.cols a in
   if Tensor.rows b <> k then invalid_arg "Linalg.gemm: inner dim mismatch";
   let n = Tensor.cols b in
@@ -35,6 +44,102 @@ let gemm ?(accumulate = false) ?(out : Tensor.t option) a b =
       end
     done
   done;
+  c
+
+(* The k-panel [k0, k1) of row [i], accumulated into row [c_row] of c.
+   Unrolled by two along k; the two products are added *sequentially*
+   ([(c + p0) + p1], never a reassociated [c + (p0 + p1)]) and each k
+   keeps the naive loop's zero-skip, so for every c element this emits
+   exactly the additions the naive i-k-j loop emits, in its order. *)
+let[@inline] k_panel a_data b_data c_data ~a_row ~c_row ~n ~k0 ~k1 =
+  let kk = ref k0 in
+  while !kk + 1 < k1 do
+    let a0 = Array.unsafe_get a_data (a_row + !kk) in
+    let a1 = Array.unsafe_get a_data (a_row + !kk + 1) in
+    let b0 = !kk * n and b1 = (!kk + 1) * n in
+    if a0 <> 0.0 then
+      if a1 <> 0.0 then
+        for j = 0 to n - 1 do
+          let p0 = a0 *. Array.unsafe_get b_data (b0 + j) in
+          let p1 = a1 *. Array.unsafe_get b_data (b1 + j) in
+          Array.unsafe_set c_data (c_row + j)
+            (Array.unsafe_get c_data (c_row + j) +. p0 +. p1)
+        done
+      else
+        for j = 0 to n - 1 do
+          Array.unsafe_set c_data (c_row + j)
+            (Array.unsafe_get c_data (c_row + j)
+            +. (a0 *. Array.unsafe_get b_data (b0 + j)))
+        done
+    else if a1 <> 0.0 then
+      for j = 0 to n - 1 do
+        Array.unsafe_set c_data (c_row + j)
+          (Array.unsafe_get c_data (c_row + j)
+          +. (a1 *. Array.unsafe_get b_data (b1 + j)))
+      done;
+    kk := !kk + 2
+  done;
+  if !kk < k1 then begin
+    let aik = Array.unsafe_get a_data (a_row + !kk) in
+    if aik <> 0.0 then begin
+      let b_row = !kk * n in
+      for j = 0 to n - 1 do
+        Array.unsafe_set c_data (c_row + j)
+          (Array.unsafe_get c_data (c_row + j)
+          +. (aik *. Array.unsafe_get b_data (b_row + j)))
+      done
+    end
+  end
+
+let gemm ?(accumulate = false) ?(out : Tensor.t option) ?(block = 0) a b =
+  let m = Tensor.rows a and k = Tensor.cols a in
+  if Tensor.rows b <> k then invalid_arg "Linalg.gemm: inner dim mismatch";
+  let n = Tensor.cols b in
+  let c =
+    match out with
+    | Some c ->
+      if Tensor.rows c <> m || Tensor.cols c <> n then
+        invalid_arg "Linalg.gemm: output shape mismatch";
+      c
+    | None -> Tensor.zeros (Shape.of_list [ m; n ])
+  in
+  let a_data = Tensor.data a
+  and b_data = Tensor.data b
+  and c_data = Tensor.data c in
+  (* One validation pass makes every unsafe access below in-bounds. *)
+  if
+    Array.length a_data < m * k
+    || Array.length b_data < k * n
+    || Array.length c_data < m * n
+  then invalid_arg "Linalg.gemm: backing store shorter than shape";
+  if not accumulate then Array.fill c_data 0 (m * n) 0.0;
+  if block <= 0 then
+    (* Plain i-k-j with the row bases hoisted out of the k loop. *)
+    for i = 0 to m - 1 do
+      let a_row = i * k and c_row = i * n in
+      k_panel a_data b_data c_data ~a_row ~c_row ~n ~k0:0 ~k1:k
+    done
+  else begin
+    (* Cache-blocked: i in blocks so the touched c rows stay resident,
+       k in blocks so each pass streams a bounded panel of b.  Both
+       block loops ascend, and within a panel k ascends, so per output
+       element the addition order is unchanged. *)
+    let bs = block in
+    let i0 = ref 0 in
+    while !i0 < m do
+      let i1 = min m (!i0 + bs) in
+      let k0 = ref 0 in
+      while !k0 < k do
+        let k1 = min k (!k0 + bs) in
+        for i = !i0 to i1 - 1 do
+          k_panel a_data b_data c_data ~a_row:(i * k) ~c_row:(i * n) ~n
+            ~k0:!k0 ~k1
+        done;
+        k0 := k1
+      done;
+      i0 := i1
+    done
+  end;
   c
 
 (* C[g] = A[g] * B[g] where the groups may have different row counts

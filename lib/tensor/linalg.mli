@@ -1,8 +1,26 @@
 (** Dense linear algebra reference kernels. *)
 
-val gemm : ?accumulate:bool -> ?out:Tensor.t -> Tensor.t -> Tensor.t -> Tensor.t
+val gemm :
+  ?accumulate:bool ->
+  ?out:Tensor.t ->
+  ?block:int ->
+  Tensor.t ->
+  Tensor.t ->
+  Tensor.t
 (** [gemm a b] with [a : [m,k]], [b : [k,n]].  With [~out] writes (or
-    with [~accumulate:true] adds) into the given tensor. *)
+    with [~accumulate:true] adds) into the given tensor.  [~block > 0]
+    runs the cache-blocked microkernel with that block edge over i and
+    k; any block size is bit-identical to the default ([block = 0])
+    path and to {!gemm_naive} — per output element the same additions
+    happen in the same order — so the block edge is a pure speed knob
+    (searched by the autotuner as {!Design_space.config.micro_block}). *)
+
+val gemm_naive :
+  ?accumulate:bool -> ?out:Tensor.t -> Tensor.t -> Tensor.t -> Tensor.t
+(** The fully bounds-checked textbook i-k-j loop: the bit-level ground
+    truth that [gemm] (at every block size) must reproduce exactly.
+    Kept as the scalar reference for the sanity checker and as the
+    baseline side of the kernel benchmarks. *)
 
 val group_gemm : (Tensor.t * Tensor.t) list -> Tensor.t list
 (** Per-group GEMMs with possibly different row counts (MoE). *)

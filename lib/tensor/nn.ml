@@ -29,19 +29,23 @@ let gated_activation act gate_up =
 let softmax_rows t =
   let m = Tensor.rows t and n = Tensor.cols t in
   let out = Tensor.zeros (Shape.of_list [ m; n ]) in
+  let src = Tensor.data t and dst = Tensor.data out in
+  (* Same passes in the same order as the get2/set2 version this
+     replaces — only the per-element index arithmetic is hoisted. *)
   for i = 0 to m - 1 do
+    let row = i * n in
     let row_max = ref neg_infinity in
     for j = 0 to n - 1 do
-      row_max := Float.max !row_max (Tensor.get2 t i j)
+      row_max := Float.max !row_max src.(row + j)
     done;
     let sum = ref 0.0 in
     for j = 0 to n - 1 do
-      let e = exp (Tensor.get2 t i j -. !row_max) in
-      Tensor.set2 out i j e;
+      let e = exp (src.(row + j) -. !row_max) in
+      dst.(row + j) <- e;
       sum := !sum +. e
     done;
     for j = 0 to n - 1 do
-      Tensor.set2 out i j (Tensor.get2 out i j /. !sum)
+      dst.(row + j) <- dst.(row + j) /. !sum
     done
   done;
   out
@@ -118,14 +122,18 @@ module Flash = struct
       invalid_arg "Flash.update: kv shape mismatch";
     let inv_sqrt_d = 1.0 /. sqrt (float_of_int d) in
     let scores = Linalg.gemm q (Tensor.transpose k_block) in
+    let scores_data = Tensor.data scores
+    and acc_data = Tensor.data state.acc
+    and v_data = Tensor.data v_block in
     for i = 0 to m - 1 do
+      let s_row = i * block and acc_row = i * d in
       (* Block-local max for row i. *)
       let block_max = ref neg_infinity in
       let masked = Array.make block neg_infinity in
       for j = 0 to block - 1 do
         let s =
           masked_score state.mask ~q_row:i ~kv_col:(kv_offset + j)
-            (Tensor.get2 scores i j *. inv_sqrt_d)
+            (scores_data.(s_row + j) *. inv_sqrt_d)
         in
         masked.(j) <- s;
         block_max := Float.max !block_max s
@@ -138,15 +146,16 @@ module Flash = struct
         in
         state.row_sum.(i) <- state.row_sum.(i) *. correction;
         for c = 0 to d - 1 do
-          Tensor.set2 state.acc i c (Tensor.get2 state.acc i c *. correction)
+          acc_data.(acc_row + c) <- acc_data.(acc_row + c) *. correction
         done;
         for j = 0 to block - 1 do
           if masked.(j) > neg_infinity then begin
             let p = exp (masked.(j) -. new_max) in
             state.row_sum.(i) <- state.row_sum.(i) +. p;
+            let v_row = j * d in
             for c = 0 to d - 1 do
-              Tensor.set2 state.acc i c
-                (Tensor.get2 state.acc i c +. (p *. Tensor.get2 v_block j c))
+              acc_data.(acc_row + c) <-
+                acc_data.(acc_row + c) +. (p *. v_data.(v_row + c))
             done
           end
         done;

@@ -1,0 +1,23 @@
+(* Default data semantics shared by the sequential interpreter
+   (runtime.ml) and the parallel backend (parallel.ml): what a [Copy]
+   instruction without an explicit action closure does to the rank
+   memories.  Kept in its own module so both interpreters execute the
+   byte-identical blit and can never drift apart. *)
+
+let resolve_rank ~self = function Some r -> r | None -> self
+
+(* Blit the source block into the destination block. *)
+let copy_action (src : Instr.access) (dst : Instr.access) : Instr.action =
+ fun memory ~rank ->
+  let open Tilelink_tensor in
+  let src_rank = resolve_rank ~self:rank src.Instr.mem_rank in
+  let dst_rank = resolve_rank ~self:rank dst.Instr.mem_rank in
+  let src_tensor = Memory.find memory ~rank:src_rank ~name:src.Instr.buffer in
+  let dst_tensor = Memory.find memory ~rank:dst_rank ~name:dst.Instr.buffer in
+  let block =
+    Tensor.block src_tensor ~row_lo:(fst src.Instr.row)
+      ~row_hi:(snd src.Instr.row) ~col_lo:(fst src.Instr.col)
+      ~col_hi:(snd src.Instr.col)
+  in
+  Tensor.set_block dst_tensor ~row_lo:(fst dst.Instr.row)
+    ~col_lo:(fst dst.Instr.col) block

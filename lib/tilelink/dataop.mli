@@ -1,0 +1,9 @@
+(** Default data semantics of instructions, shared by the sequential
+    interpreter and the parallel backend. *)
+
+val resolve_rank : self:int -> int option -> int
+(** Resolve an access's [mem_rank] ([None] = the executing rank). *)
+
+val copy_action : Instr.access -> Instr.access -> Instr.action
+(** What a [Copy] without an action closure does: blit the source
+    block into the destination block. *)

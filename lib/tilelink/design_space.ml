@@ -26,16 +26,22 @@ type config = {
   compute_order : Tile.order;
   binding : resource_binding;
   stages : int;  (* software pipeline depth *)
+  micro_block : int;
+      (* GEMM microkernel cache-block edge; 0 = plain streaming kernel.
+         Bit-identical numerics either way — a pure speed knob for the
+         parallel backend. *)
 }
 
 let config_to_string c =
-  Printf.sprintf "comm=%dx%d %s | compute=%dx%d %s | %s | stages=%d"
+  Printf.sprintf "comm=%dx%d %s | compute=%dx%d %s | %s | stages=%d%s"
     (fst c.comm_tile) (snd c.comm_tile)
     (Tile.order_to_string c.comm_order)
     (fst c.compute_tile) (snd c.compute_tile)
     (Tile.order_to_string c.compute_order)
     (resource_binding_to_string c.binding)
     c.stages
+    (if c.micro_block = 0 then ""
+     else Printf.sprintf " | mb=%d" c.micro_block)
 
 (* Exact textual identity of a config, for evaluation-cache keys.
    [config_to_string] is for humans and rounds the hybrid DMA fraction
@@ -49,12 +55,12 @@ let fingerprint c =
     | Comm_hybrid { dma_fraction; sms } ->
       Printf.sprintf "hybrid:%h:%d" dma_fraction sms
   in
-  Printf.sprintf "ct=%dx%d;kt=%dx%d;co=%s;ko=%s;bind=%s;stages=%d"
+  Printf.sprintf "ct=%dx%d;kt=%dx%d;co=%s;ko=%s;bind=%s;stages=%d;mb=%d"
     (fst c.comm_tile) (snd c.comm_tile) (fst c.compute_tile)
     (snd c.compute_tile)
     (Tile.order_to_string c.comm_order)
     (Tile.order_to_string c.compute_order)
-    binding c.stages
+    binding c.stages c.micro_block
 
 (* FLUX-style coupled point: communication inherits everything from
    computation. *)
@@ -66,6 +72,7 @@ let coupled ~tile ~order ~comm_sms ~stages =
     compute_order = order;
     binding = Comm_on_sm comm_sms;
     stages;
+    micro_block = 0;
   }
 
 type space = {
@@ -75,6 +82,7 @@ type space = {
   compute_orders : Tile.order list;
   bindings : resource_binding list;
   stage_choices : int list;
+  micro_blocks : int list;
 }
 
 let default_space ~world_size =
@@ -92,6 +100,11 @@ let default_space ~world_size =
         Comm_hybrid { dma_fraction = 0.5; sms = 16 };
       ];
     stage_choices = [ 1; 2 ];
+    (* [0] alone keeps the default enumeration size unchanged; the
+       microkernel block is a parallel-backend speed knob that never
+       affects numerics, so searching it only pays off when tuning for
+       real wall-clock. *)
+    micro_blocks = [ 0 ];
   }
 
 let enumerate space =
@@ -105,16 +118,20 @@ let enumerate space =
                 (fun compute_order ->
                   List.concat_map
                     (fun binding ->
-                      List.map
+                      List.concat_map
                         (fun stages ->
-                          {
-                            comm_tile;
-                            compute_tile;
-                            comm_order;
-                            compute_order;
-                            binding;
-                            stages;
-                          })
+                          List.map
+                            (fun micro_block ->
+                              {
+                                comm_tile;
+                                compute_tile;
+                                comm_order;
+                                compute_order;
+                                binding;
+                                stages;
+                                micro_block;
+                              })
+                            space.micro_blocks)
                         space.stage_choices)
                     space.bindings)
                 space.compute_orders)

@@ -15,6 +15,13 @@ type config = {
   compute_order : Tile.order;
   binding : resource_binding;
   stages : int;
+  micro_block : int;
+      (** Cache-block edge of the GEMM microkernel executing each
+          compute tile ([Linalg.gemm ~block]); [0] = the plain
+          streaming kernel.  Purely an execution-speed knob: the
+          blocked kernel is bit-identical to the plain one, so this
+          subspace never changes numerics, only wall-clock on the
+          parallel backend. *)
 }
 
 val config_to_string : config -> string
@@ -35,6 +42,10 @@ type space = {
   compute_orders : Tile.order list;
   bindings : resource_binding list;
   stage_choices : int list;
+  micro_blocks : int list;
+      (** Microkernel cache-block choices; the default space ships
+          [[0]] (plain kernel only) so the enumeration size is
+          unchanged — widen it to let [Tune] search block sizes. *)
 }
 
 val default_space : world_size:int -> space

@@ -35,24 +35,7 @@ type result = {
   notifies : int;
 }
 
-let resolve_rank ~self = function Some r -> r | None -> self
-
-(* Default data semantics of a Copy: blit the source block into the
-   destination block. *)
-let default_copy_action (src : Instr.access) (dst : Instr.access) memory
-    ~rank =
-  let open Tilelink_tensor in
-  let src_rank = resolve_rank ~self:rank src.Instr.mem_rank in
-  let dst_rank = resolve_rank ~self:rank dst.Instr.mem_rank in
-  let src_tensor = Memory.find memory ~rank:src_rank ~name:src.Instr.buffer in
-  let dst_tensor = Memory.find memory ~rank:dst_rank ~name:dst.Instr.buffer in
-  let block =
-    Tensor.block src_tensor ~row_lo:(fst src.Instr.row)
-      ~row_hi:(snd src.Instr.row) ~col_lo:(fst src.Instr.col)
-      ~col_hi:(snd src.Instr.col)
-  in
-  Tensor.set_block dst_tensor ~row_lo:(fst dst.Instr.row)
-    ~col_lo:(fst dst.Instr.col) block
+let resolve_rank = Dataop.resolve_rank
 
 let cost_duration (spec : Spec.t) ~sms = function
   | Instr.Gemm_tile { tm; tn; k } -> Cost.gemm_tile_time spec ~tm ~tn ~k
@@ -260,7 +243,7 @@ let exec_instr cluster channels memory ~telemetry ~data ~rank ~ctx ~lane
     if data then begin
       match action with
       | Some act -> act memory ~rank
-      | None -> default_copy_action src dst memory ~rank
+      | None -> Dataop.copy_action src dst memory ~rank
     end
   | Instr.Wait { target; threshold; _ } ->
     let t0 = now () in
@@ -503,17 +486,57 @@ let no_survivor_stall ~dead ~lost ~t_crash ~now channels program =
   }
 
 let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) ?rebuild
-    cluster (program : Program.t) =
+    ?(backend = `Sequential) cluster (program : Program.t) =
   (match Program.validate program with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Runtime.run: invalid program: " ^ msg));
   (* Optional static pre-flight: a protocol that can never complete is
      reported as a structured [Analyzer.Protocol_violation] here, with
      key/rank/channel diagnostics, instead of wedging mid-simulation as
-     a generic [Engine.Deadlock]. *)
-  if analyze then Analyzer.check_exn program;
+     a generic [Engine.Deadlock].  The parallel backend always
+     analyzes — that is its admission gate — so [analyze] only
+     matters for the sequential interpreter. *)
+  if analyze && backend = `Sequential then Analyzer.check_exn program;
   if Cluster.world_size cluster <> Program.world_size program then
     invalid_arg "Runtime.run: cluster/program world size mismatch";
+  match backend with
+  | `Parallel domains ->
+    (* Real execution on a domain team.  Chaos fault injection is a
+       simulated-clock concept (schedules, watchdog ticks, crash
+       windows are all in sim time) — reject it loudly rather than
+       silently ignoring the control. *)
+    if chaos <> None then
+      invalid_arg
+        "Runtime.run: the parallel backend does not support chaos fault \
+         injection (fault schedules and the watchdog live on the simulated \
+         clock); use the sequential interpreter";
+    ignore rebuild;
+    let memory =
+      match memory with
+      | Some m -> m
+      | None -> Memory.create ~world_size:(Program.world_size program)
+    in
+    let memory, p = Parallel.run ?telemetry ~data ~memory ~domains program in
+    (* Mirror the final counter values into a Channel.t so result
+       consumers ([pc_value], reporting) see the same interface as the
+       sequential interpreter. *)
+    let channels =
+      Channel.create
+        ~world_size:(Program.world_size program)
+        ~channels_per_rank:program.Program.pc_channels
+        ~peer_channels:program.Program.peer_channels ()
+    in
+    List.iter
+      (fun (key, v) ->
+        if v > 0 then Channel.force_signal channels ~key ~target:v)
+      p.Parallel.p_key_values;
+    {
+      makespan = p.Parallel.p_wall_us;
+      channels;
+      memory;
+      notifies = p.Parallel.p_notifies;
+    }
+  | `Sequential ->
   let memory =
     match memory with
     | Some m -> m

@@ -13,8 +13,26 @@ val run :
   ?data:bool -> ?memory:Memory.t -> ?chaos:Chaos.control ->
   ?analyze:bool ->
   ?rebuild:(unit -> Program.t) ->
+  ?backend:[ `Sequential | `Parallel of int ] ->
   Tilelink_machine.Cluster.t -> Program.t -> result
-(** Execute the program to completion.  With [~analyze:true] (default
+(** Execute the program to completion.
+
+    With [~backend:(`Parallel n)] (default [`Sequential]), the program
+    is not simulated at all: it runs for real on a persistent team of
+    [n] OCaml 5 domains ({!Parallel.run}), with tile channels lowered
+    to atomic monotonic counters (notify = fetch-and-add, release;
+    wait = spin-then-park, acquire) and data actions executed
+    concurrently on the domains.  The static analyzer pre-flights
+    every program admitted to the parallel path (regardless of
+    [analyze]) — that gate makes the backend deadlock-free, and the
+    protocol's happens-before edges make the resulting tensors
+    bit-identical to the sequential interpreter's.  In the result,
+    [makespan] is wall-clock µs, [channels] mirrors the final counter
+    values, and [notifies] counts real atomic signals.  Chaos controls
+    are rejected with [Invalid_argument] (fault schedules live on the
+    simulated clock).
+
+    With [~analyze:true] (default
     false), the static protocol analyzer pre-flights the program and a
     would-be runtime deadlock raises {!Analyzer.Protocol_violation} —
     with key/rank/channel diagnostics — before the simulation starts.

@@ -184,7 +184,7 @@ let ag_gemm_program ?(k_chunks = 2) ?(transfer = `Pull)
             let w = Memory.find memory ~rank ~name:"w" in
             let y = Memory.find memory ~rank ~name:"y" in
             let block =
-              Linalg.gemm
+              Linalg.gemm ~block:config.Design_space.micro_block
                 (Tensor.row_slice x ~lo ~hi)
                 (Tensor.col_slice w ~lo:clo ~hi:chi)
             in
@@ -402,7 +402,7 @@ let gemm_rs_program ~(config : Design_space.config) spec ~(spec_gpu : Spec.t)
             let w = Memory.find memory ~rank ~name:"w2" in
             let g = Memory.find memory ~rank ~name:"gemm_out" in
             Tensor.set_block g ~row_lo:lo ~col_lo:clo
-              (Linalg.gemm
+              (Linalg.gemm ~block:config.Design_space.micro_block
                  (Tensor.row_slice a ~lo ~hi)
                  (Tensor.col_slice w ~lo:clo ~hi:chi))
           in

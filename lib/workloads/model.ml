@@ -121,6 +121,7 @@ let ag_config ~world_size =
     compute_order = Tile.Ring_from_self { segments = world_size };
     binding = Design_space.Comm_on_dma;
     stages = 2;
+    micro_block = 0;
   }
 
 let rs_config =
@@ -131,6 +132,7 @@ let rs_config =
     compute_order = Tile.Ring_prev_first { segments = 8 };
     binding = Design_space.Comm_hybrid { dma_fraction = 0.5; sms = 12 };
     stages = 2;
+    micro_block = 0;
   }
 
 let tilelink_ag_gemm (spec : Spec.t) ~world_size ~m ~k ~n =

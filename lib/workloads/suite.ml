@@ -1,12 +1,18 @@
 (* The shipped-program sweep: every workload family across a rank and
    tile-shape sweep, built against the fast test machine.
 
-   One definition serves three consumers — the CLI's `verify` command
+   One definition serves four consumers — the CLI's `verify` command
    (static protocol analysis over all of them), the conservation
    property test (attribution buckets must sum to the makespan on every
-   program), and anything else that wants "all shipped programs" as a
-   corpus.  Building is cheap (no simulation), so the full sweep stays
-   well under a second. *)
+   program), the sequential-vs-parallel bit-identity sweep (which needs
+   seeded memories too, see [data_cases]), and anything else that wants
+   "all shipped programs" as a corpus.  Building is cheap (no
+   simulation), so the full sweep stays well under a second.
+
+   [data_cases] returns *builders* rather than built programs on
+   purpose: task closures can hold accumulator state (flash-attention
+   online softmax), so every execution needs a freshly built program —
+   running one program object twice with data is a bug. *)
 
 open Tilelink_core
 open Tilelink_machine
@@ -23,12 +29,13 @@ let sweep_config ~world ~binding ~comm_tile ~compute_tile ~stages ~ring =
        else Tile.Row_major);
     binding;
     stages;
+    micro_block = 0;
   }
 
-let programs () =
+let build_cases () =
   let machine = Calib.test_machine in
   let suite = ref [] in
-  let add name p = suite := (name, p) :: !suite in
+  let add name case = suite := (name, case) :: !suite in
   (* MLP AG+GEMM, pull and push transfer modes. *)
   List.iter
     (fun world ->
@@ -43,11 +50,15 @@ let programs () =
           in
           add
             (Printf.sprintf "mlp_ag_gemm_pull/w%d/t%d" world comm_tile)
-            (Mlp.ag_gemm_program ~config:cfg shapes ~spec_gpu:machine);
+            (fun () ->
+              ( Mlp.ag_gemm_alloc shapes ~seed:11,
+                Mlp.ag_gemm_program ~config:cfg shapes ~spec_gpu:machine ));
           add
             (Printf.sprintf "mlp_ag_gemm_push/w%d/t%d" world comm_tile)
-            (Mlp.ag_gemm_program ~transfer:`Push ~config:cfg shapes
-               ~spec_gpu:machine))
+            (fun () ->
+              ( Mlp.ag_gemm_alloc shapes ~seed:11,
+                Mlp.ag_gemm_program ~transfer:`Push ~config:cfg shapes
+                  ~spec_gpu:machine )))
         [ 2; 4 ])
     [ 2; 4; 8 ];
   (* MLP GEMM+RS. *)
@@ -64,11 +75,14 @@ let programs () =
           compute_order = Tile.Row_major;
           binding = Design_space.Comm_on_sm 1;
           stages = 1;
+          micro_block = 0;
         }
       in
       add
         (Printf.sprintf "mlp_gemm_rs/w%d" world)
-        (Mlp.gemm_rs_program ~config:cfg shapes ~spec_gpu:machine))
+        (fun () ->
+          ( Mlp.gemm_rs_alloc shapes ~seed:12,
+            Mlp.gemm_rs_program ~config:cfg shapes ~spec_gpu:machine )))
     [ 2; 4 ];
   (* MoE part 1 and part 2 (dynamic routing tables). *)
   List.iter
@@ -86,26 +100,30 @@ let programs () =
       let route = Moe.routing spec ~seed:5 in
       add
         (Printf.sprintf "moe_part1/w%d" world)
-        (Moe.part1_program
-           ~config:
-             {
-               Moe.comm_tile_rows = 2;
-               group_tile_rows = 2;
-               comm_binding = Design_space.Comm_on_sm 1;
-             }
-           spec route ~spec_gpu:machine);
+        (fun () ->
+          ( Moe.part1_alloc spec ~seed:13,
+            Moe.part1_program
+              ~config:
+                {
+                  Moe.comm_tile_rows = 2;
+                  group_tile_rows = 2;
+                  comm_binding = Design_space.Comm_on_sm 1;
+                }
+              spec route ~spec_gpu:machine ));
       add
         (Printf.sprintf "moe_part2/w%d" world)
-        (Moe.part2_program
-           ~config:
-             {
-               Moe.gg_tile_rows = 2;
-               reduce_tile_rows = 2;
-               rs_tile_rows = 2;
-               reduce_sms = 1;
-               rs_sms = 1;
-             }
-           spec route ~spec_gpu:machine))
+        (fun () ->
+          ( Moe.part2_alloc spec ~seed:14,
+            Moe.part2_program
+              ~config:
+                {
+                  Moe.gg_tile_rows = 2;
+                  reduce_tile_rows = 2;
+                  rs_tile_rows = 2;
+                  reduce_sms = 1;
+                  rs_sms = 1;
+                }
+              spec route ~spec_gpu:machine )))
     [ 2; 4 ];
   (* Sequence-parallel attention and its ring variant. *)
   List.iter
@@ -122,55 +140,69 @@ let programs () =
       let cfg = { Attention.q_tile = 4; kv_tile = 4 } in
       add
         (Printf.sprintf "attention/w%d" world)
-        (Attention.program ~config:cfg spec ~spec_gpu:machine);
+        (fun () ->
+          ( Attention.alloc spec ~seed:15,
+            Attention.program ~config:cfg spec ~spec_gpu:machine ));
       add
         (Printf.sprintf "ring_attention/w%d" world)
-        (Ring_attention.program
-           ~config:{ Ring_attention.q_tile = 4; comm_sms = 1 }
-           spec ~spec_gpu:machine))
+        (fun () ->
+          ( Ring_attention.alloc spec ~seed:16,
+            Ring_attention.program
+              ~config:{ Ring_attention.q_tile = 4; comm_sms = 1 }
+              spec ~spec_gpu:machine )))
     [ 2; 4 ];
-  add "attention_causal/w2"
-    (Attention.program
-       ~config:{ Attention.q_tile = 4; kv_tile = 4 }
-       {
-         Attention.batch_heads = 2;
-         seq = 16;
-         head_dim = 4;
-         world_size = 2;
-         causal = true;
-       }
-       ~spec_gpu:machine);
+  add "attention_causal/w2" (fun () ->
+      let spec =
+        {
+          Attention.batch_heads = 2;
+          seq = 16;
+          head_dim = 4;
+          world_size = 2;
+          causal = true;
+        }
+      in
+      ( Attention.alloc spec ~seed:17,
+        Attention.program
+          ~config:{ Attention.q_tile = 4; kv_tile = 4 }
+          spec ~spec_gpu:machine ));
   (* Expert-parallel MoE dispatch/combine. *)
-  add "ep_moe/w2"
-    (let spec =
-       {
-         Ep_moe.tokens = 16;
-         hidden = 4;
-         intermediate = 6;
-         experts = 4;
-         topk = 2;
-         world_size = 2;
-       }
-     in
-     Ep_moe.program
-       ~config:{ Ep_moe.tile_rows = 2; comm_binding = Design_space.Comm_on_dma }
-       spec
-       (Ep_moe.routing spec ~seed:13)
-       ~spec_gpu:machine);
-  add "ep_moe/w4"
-    (let spec =
-       {
-         Ep_moe.tokens = 32;
-         hidden = 4;
-         intermediate = 6;
-         experts = 8;
-         topk = 2;
-         world_size = 4;
-       }
-     in
-     Ep_moe.program
-       ~config:{ Ep_moe.tile_rows = 2; comm_binding = Design_space.Comm_on_dma }
-       spec
-       (Ep_moe.routing spec ~seed:13)
-       ~spec_gpu:machine);
+  add "ep_moe/w2" (fun () ->
+      let spec =
+        {
+          Ep_moe.tokens = 16;
+          hidden = 4;
+          intermediate = 6;
+          experts = 4;
+          topk = 2;
+          world_size = 2;
+        }
+      in
+      let route = Ep_moe.routing spec ~seed:13 in
+      ( fst (Ep_moe.alloc spec route ~seed:18),
+        Ep_moe.program
+          ~config:
+            { Ep_moe.tile_rows = 2; comm_binding = Design_space.Comm_on_dma }
+          spec route ~spec_gpu:machine ));
+  add "ep_moe/w4" (fun () ->
+      let spec =
+        {
+          Ep_moe.tokens = 32;
+          hidden = 4;
+          intermediate = 6;
+          experts = 8;
+          topk = 2;
+          world_size = 4;
+        }
+      in
+      let route = Ep_moe.routing spec ~seed:13 in
+      ( fst (Ep_moe.alloc spec route ~seed:19),
+        Ep_moe.program
+          ~config:
+            { Ep_moe.tile_rows = 2; comm_binding = Design_space.Comm_on_dma }
+          spec route ~spec_gpu:machine ));
   List.rev !suite
+
+let data_cases () = build_cases ()
+
+let programs () =
+  List.map (fun (name, case) -> (name, snd (case ()))) (build_cases ())

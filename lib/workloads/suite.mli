@@ -6,3 +6,12 @@
 val programs : unit -> (string * Tilelink_core.Program.t) list
 (** Named programs in deterministic order (currently 25).  Building is
     static — no simulation happens. *)
+
+val data_cases :
+  unit ->
+  (string * (unit -> Tilelink_core.Memory.t * Tilelink_core.Program.t)) list
+(** The same sweep as {!programs}, but each entry is a *builder*
+    returning a seeded memory plus a freshly built program.  Builders
+    must be re-invoked per execution: task closures can carry
+    accumulator state (flash-attention online softmax), so a program
+    object is single-use once run with data. *)

@@ -24,6 +24,7 @@ let ag_gemm_candidates ~world_size =
             compute_order = ring;
             binding;
             stages = 2;
+            micro_block = 0;
           })
         [ 128; 256; 512 ])
     [
@@ -51,6 +52,7 @@ let gemm_rs_candidates ~world_size =
                 compute_order;
                 binding;
                 stages = 2;
+                micro_block = 0;
               })
             [ (128, 512); (128, 2048) ])
         [ aligned; Tile.Row_major ])

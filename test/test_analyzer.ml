@@ -72,6 +72,7 @@ let mlp_config ~world ~comm_tile ~stages =
     compute_order = Tile.Ring_from_self { segments = world };
     binding = Design_space.Comm_on_sm 1;
     stages;
+    micro_block = 0;
   }
 
 let mlp_program ?transfer ~world ~comm_tile ~stages () =

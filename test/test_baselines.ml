@@ -250,6 +250,7 @@ let test_report_on_real_kernel () =
       compute_order = Tilelink_core.Tile.Ring_from_self { segments = world };
       binding = Tilelink_core.Design_space.Comm_on_dma;
       stages = 2;
+      micro_block = 0;
     }
   in
   let program =

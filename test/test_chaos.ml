@@ -360,6 +360,7 @@ let small_config =
     compute_order = ring;
     binding = Design_space.Comm_on_sm 1;
     stages = 2;
+    micro_block = 0;
   }
 
 let run_small program =

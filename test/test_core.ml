@@ -852,6 +852,7 @@ let prop_runtime_deterministic =
           compute_order = Tile.Row_major;
           binding = Design_space.Comm_on_sm 1;
           stages;
+          micro_block = 0;
         }
       in
       ignore config;
@@ -1151,6 +1152,7 @@ let test_tuner_picks_fastest () =
           compute_order = Tile.Row_major;
           binding = Design_space.Comm_on_sm 1;
           stages;
+          micro_block = 0;
         })
       [ 1; 2; 3 ]
   in
@@ -1179,6 +1181,7 @@ let test_tuner_skips_failures () =
           compute_order = Tile.Row_major;
           binding = Design_space.Comm_on_sm 1;
           stages;
+          micro_block = 0;
         })
       [ 1; 2 ]
   in

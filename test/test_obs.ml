@@ -427,6 +427,7 @@ let small_config =
     compute_order = Tile.Row_major;
     binding = Design_space.Comm_on_sm 1;
     stages = 2;
+    micro_block = 0;
   }
 
 let small_spec = { Mlp.m = 8; k = 4; n = 6; world_size = 2 }
@@ -483,6 +484,46 @@ let test_disabled_telemetry_is_invisible () =
     (Journal.length (Telemetry.journal off));
   Alcotest.(check int) "no spans" 0 (Span.length (Telemetry.spans off))
 
+(* Recording from several domains at once must lose nothing: the
+   registries are shared by the parallel backend's worker domains. *)
+let test_concurrent_recording () =
+  let metrics = Metrics.create () in
+  let journal = Journal.create ~capacity:100_000 () in
+  let spans = Span.create () in
+  let per_domain = 2_000 and n_domains = 4 in
+  let worker_body d () =
+    for i = 1 to per_domain do
+      Metrics.inc metrics "shared.counter";
+      Metrics.add_gauge metrics "shared.gauge" 1.0;
+      Metrics.observe metrics "shared.hist" (float_of_int ((i mod 7) + 1));
+      Journal.record journal ~t:(float_of_int i)
+        (Journal.Signal_set
+           { key = "pc[0][0]"; rank = d; amount = 1; value = i });
+      Span.record_task spans ~kind:Span.Compute
+        ~label:(Printf.sprintf "d%d/%d" d i)
+        ~rank:d ~worker:d ~t0:0.0 ~t1:1.0
+    done
+  in
+  let domains = List.init n_domains (fun d -> Domain.spawn (worker_body d)) in
+  List.iter Domain.join domains;
+  let total = n_domains * per_domain in
+  Alcotest.(check (option int))
+    "counter total" (Some total)
+    (Metrics.counter_value metrics "shared.counter");
+  Alcotest.(check (option (float 0.0)))
+    "gauge total"
+    (Some (float_of_int total))
+    (Metrics.gauge_value metrics "shared.gauge");
+  (match Metrics.summary metrics "shared.hist" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s -> Alcotest.(check int) "histogram count" total s.Metrics.count);
+  Alcotest.(check int) "journal entries" total (Journal.length journal);
+  Alcotest.(check int) "journal dropped" 0 (Journal.dropped journal);
+  Alcotest.(check int) "span count" total (Span.length spans);
+  (* Ids must be dense and unique: the id is the store index. *)
+  let ids = List.map (fun s -> s.Span.id) (Span.spans spans) in
+  Alcotest.(check (list int)) "span ids dense" (List.init total Fun.id) ids
+
 let () =
   Alcotest.run "obs"
     [
@@ -526,6 +567,11 @@ let () =
         ] );
       ( "telemetry",
         [ Alcotest.test_case "active guard" `Quick test_telemetry_active ] );
+      ( "domain-safety",
+        [
+          Alcotest.test_case "concurrent recording" `Quick
+            test_concurrent_recording;
+        ] );
       ( "perfetto",
         [
           Alcotest.test_case "flow pair" `Quick test_perfetto_flow_pair;

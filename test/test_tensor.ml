@@ -162,6 +162,44 @@ let test_gemm_blocked_equals_full () =
   sweep 0;
   tensor_close "k-blocked gemm" full c
 
+let test_gemm_microkernel_bits () =
+  (* Every block size of the microkernel must equal the bounds-checked
+     naive loop *bit for bit* — the autotuner treats the block edge as
+     a pure speed knob, which is only sound under exact equality. *)
+  let bits_equal msg a b =
+    let da = Tensor.data a and db = Tensor.data b in
+    Alcotest.(check bool) msg true
+      (Array.length da = Array.length db
+      && Array.for_all2
+           (fun x y ->
+             Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+           da db)
+  in
+  List.iter
+    (fun (m, k, n) ->
+      let a = Tensor.random ~seed:(m + k) (shape [ m; k ]) in
+      let b = Tensor.random ~seed:(k + n) (shape [ k; n ]) in
+      let reference = Linalg.gemm_naive a b in
+      bits_equal
+        (Printf.sprintf "default path bits (%dx%dx%d)" m k n)
+        reference (Linalg.gemm a b);
+      List.iter
+        (fun block ->
+          bits_equal
+            (Printf.sprintf "block=%d bits (%dx%dx%d)" block m k n)
+            reference
+            (Linalg.gemm ~block a b))
+        [ 1; 2; 3; 4; 7; 8; 16; 64 ];
+      (* Accumulating into an existing output must agree too. *)
+      let seed_out = Tensor.random ~seed:99 (shape [ m; n ]) in
+      let out_naive = Tensor.copy seed_out and out_blocked = Tensor.copy seed_out in
+      ignore (Linalg.gemm_naive ~accumulate:true ~out:out_naive a b);
+      ignore (Linalg.gemm ~accumulate:true ~out:out_blocked ~block:4 a b);
+      bits_equal
+        (Printf.sprintf "accumulate bits (%dx%dx%d)" m k n)
+        out_naive out_blocked)
+    [ (1, 1, 1); (3, 5, 2); (8, 12, 6); (16, 16, 16); (17, 31, 13) ]
+
 let test_batch_gemm () =
   let a = Tensor.random ~seed:7 (shape [ 3; 2; 4 ]) in
   let b = Tensor.random ~seed:8 (shape [ 3; 4; 5 ]) in
@@ -471,6 +509,8 @@ let () =
           Alcotest.test_case "gemm accumulate" `Quick test_gemm_accumulate;
           Alcotest.test_case "k-blocked == full" `Quick
             test_gemm_blocked_equals_full;
+          Alcotest.test_case "microkernel bit-identity" `Quick
+            test_gemm_microkernel_bits;
           Alcotest.test_case "batch gemm" `Quick test_batch_gemm;
           Alcotest.test_case "group gemm" `Quick test_group_gemm;
           qc prop_gemm_distributes_over_row_split;

@@ -22,6 +22,7 @@ let base_config =
     compute_order = Tile.Row_major;
     binding = Design_space.Comm_on_sm 1;
     stages = 2;
+    micro_block = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -173,6 +174,7 @@ let prop_ag_gemm_correct_random_shapes =
           compute_order = Tile.Row_major;
           binding = Design_space.Comm_on_sm 1;
           stages = 2;
+          micro_block = 0;
         }
       in
       let memory = Mlp.ag_gemm_alloc spec ~seed:(m + k + n) in
@@ -204,6 +206,7 @@ let rs_config =
     compute_order = Tile.Row_major;
     binding = Design_space.Comm_on_sm 1;
     stages = 1;
+    micro_block = 0;
   }
 
 let check_gemm_rs config msg =
