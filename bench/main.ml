@@ -944,6 +944,107 @@ let bench_json_chaos () =
       })
     [ Harness.Mlp_ag_gemm; Harness.Moe_part2; Harness.Attention_ag ]
 
+(* Serving suite: one row per traffic scenario through the continuous
+   batcher — steady Poisson, a bursty overload that exercises
+   backpressure and degradation tiers, and a mid-trace rank crash.
+   The schema-checked fields keep their usual meaning (makespan = the
+   serve's virtual-clock span, overlap_ratio = fraction of completed
+   requests inside both SLOs); the serving outcome — conservation
+   counts, goodput, TTFT/TPOT percentiles, degraded-tier time — rides
+   along and is gated suite-specifically. *)
+let bench_json_serving () =
+  let module Serve = Tilelink_serve in
+  let seed = 42 and requests = 120 in
+  let slo = { Serve.Slo.ttft_us = 5_000.; tpot_us = 2_000. } in
+  let config ~chaos =
+    {
+      Serve.Server.machine = spec;
+      world_size = world;
+      head_dim = 64;
+      slo;
+      queue_capacity = 32;
+      max_batch = 16;
+      kv_capacity = 8192;
+      timeout_us = 50_000.;
+      chaos;
+    }
+  in
+  let scenarios =
+    [
+      ( "poisson_steady",
+        Serve.Trace_gen.Poisson { rate_rps = 2_000. },
+        None );
+      ( "bursty_overload",
+        Serve.Trace_gen.Bursty
+          { rate_rps = 40_000.; burst = 8.; on_fraction = 0.25 },
+        None );
+      ( "poisson_crash1",
+        Serve.Trace_gen.Poisson { rate_rps = 2_000. },
+        Some { Serve.Server.ch_seed = 7; ch_crash_ranks = 1 } );
+    ]
+  in
+  List.map
+    (fun (name, arrival, chaos) ->
+      {
+        descr =
+          Printf.sprintf "bench-v1|serving|%s|requests=%d,seed=%d|%s" name
+            requests seed machine_id;
+        compute =
+          (fun () ->
+            let trace =
+              Serve.Trace_gen.generate ~seed ~requests arrival
+            in
+            let r = Serve.Server.run (config ~chaos) trace in
+            let shed =
+              r.Serve.Server.r_shed_queue_full
+              + r.Serve.Server.r_shed_deadline
+              + r.Serve.Server.r_shed_timeout
+            in
+            let degraded_us =
+              List.fold_left
+                (fun acc (tier, us) ->
+                  if tier = "overlapped" then acc else acc +. us)
+                0. r.Serve.Server.r_tier_us
+            in
+            Obs.Json.Obj
+              [
+                ("config", Obs.Json.Str name);
+                ("kernel", Obs.Json.Str "serving");
+                ("makespan_us", Obs.Json.Num r.Serve.Server.r_makespan_us);
+                ( "overlap_ratio",
+                  Obs.Json.Num
+                    (if r.Serve.Server.r_completed = 0 then 0.0
+                     else
+                       float_of_int r.Serve.Server.r_slo_met
+                       /. float_of_int r.Serve.Server.r_completed) );
+                ("offered", Obs.Json.Num (float_of_int r.Serve.Server.r_offered));
+                ( "accepted",
+                  Obs.Json.Num (float_of_int r.Serve.Server.r_accepted) );
+                ( "completed",
+                  Obs.Json.Num (float_of_int r.Serve.Server.r_completed) );
+                ("shed", Obs.Json.Num (float_of_int shed));
+                ("failed", Obs.Json.Num (float_of_int r.Serve.Server.r_failed));
+                ( "in_flight",
+                  Obs.Json.Num (float_of_int r.Serve.Server.r_in_flight) );
+                ("goodput_rps", Obs.Json.Num r.Serve.Server.r_goodput_rps);
+                ( "ttft_p50_us",
+                  Obs.Json.Num r.Serve.Server.r_ttft.Serve.Slo.d_p50 );
+                ( "ttft_p99_us",
+                  Obs.Json.Num r.Serve.Server.r_ttft.Serve.Slo.d_p99 );
+                ( "tpot_p50_us",
+                  Obs.Json.Num r.Serve.Server.r_tpot.Serve.Slo.d_p50 );
+                ( "tpot_p99_us",
+                  Obs.Json.Num r.Serve.Server.r_tpot.Serve.Slo.d_p99 );
+                ("degraded_us", Obs.Json.Num degraded_us);
+                ( "failovers",
+                  Obs.Json.Num (float_of_int r.Serve.Server.r_failovers) );
+                ( "fallback_steps",
+                  Obs.Json.Num (float_of_int r.Serve.Server.r_fallback_steps)
+                );
+              ]);
+      })
+    scenarios
+
 (* Kernel microbenchmarks: the gemm variants (bounds-checked naive,
    micro-optimized i-k-j, cache-blocked at several block edges) timed
    for real — host wall-clock, not simulated time.  All timings are
@@ -1101,6 +1202,7 @@ let json_suites =
     ("moe", bench_json_moe);
     ("smoke", bench_json_smoke);
     ("chaos", bench_json_chaos);
+    ("serving", bench_json_serving);
     ("kernels", bench_json_kernels);
     ("parallel", bench_json_parallel);
   ]
@@ -1183,6 +1285,32 @@ let check_bench_json path =
                 "kernels: no blocked variant beats naive at %s (best %.3fx)"
                 shape best))
        by_shape);
+  if suite = "serving" then
+    List.iter
+      (fun row ->
+        (* Conservation gate: every offered request must be accounted
+           for, nothing may linger at drain, and the latency digests
+           must be real numbers whenever anything completed. *)
+        let offered = num_field row "offered" in
+        let completed = num_field row "completed" in
+        let shed = num_field row "shed" in
+        let failed = num_field row "failed" in
+        let in_flight = num_field row "in_flight" in
+        if offered <> completed +. shed +. failed +. in_flight then
+          fail "serving: offered <> completed + shed + failed + in_flight";
+        if in_flight <> 0.0 then fail "serving: requests in flight at drain";
+        if failed < 0.0 then fail "serving: negative failed count";
+        if num_field row "goodput_rps" < 0.0 then
+          fail "serving: negative goodput";
+        if num_field row "degraded_us" < 0.0 then
+          fail "serving: negative degraded-tier time";
+        if completed > 0.0 then begin
+          if num_field row "ttft_p99_us" < num_field row "ttft_p50_us" then
+            fail "serving: ttft p99 below p50";
+          if num_field row "tpot_p99_us" < num_field row "tpot_p50_us" then
+            fail "serving: tpot p99 below p50"
+        end)
+      rows;
   if suite = "parallel" then
     List.iter
       (fun row ->

@@ -1383,6 +1383,259 @@ let chaos_cmd =
       $ check_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Tilelink_serve
+
+(* Trace-driven serving over the simulated cluster: open-loop arrivals
+   through the continuous batcher, with admission control, degradation
+   tiers and (optionally) a seeded mid-trace rank crash.  --check runs
+   the serve twice and demands a byte-identical, conservation-clean
+   report. *)
+let serve_run trace_kind rate burst requests seed prompt_mean decode_mean
+    world head_dim slo_ttft slo_tpot queue_capacity max_batch kv_capacity
+    timeout_us chaos_seed crash_ranks out perfetto_path check =
+  let trace =
+    match trace_kind with
+    | "poisson" ->
+      Serve.Trace_gen.generate ~prompt_mean ~decode_mean ~seed ~requests
+        (Serve.Trace_gen.Poisson { rate_rps = rate })
+    | "bursty" ->
+      Serve.Trace_gen.generate ~prompt_mean ~decode_mean ~seed ~requests
+        (Serve.Trace_gen.Bursty
+           { rate_rps = rate; burst; on_fraction = 0.25 })
+    | path -> (
+      match Serve.Trace_gen.load_trace path with
+      | Ok reqs -> reqs
+      | Error msg ->
+        Printf.eprintf "serve: cannot load trace %s: %s\n" path msg;
+        exit 2)
+  in
+  let chaos =
+    if crash_ranks > 0 then
+      Some
+        {
+          Serve.Server.ch_seed = Option.value chaos_seed ~default:seed;
+          ch_crash_ranks = crash_ranks;
+        }
+    else None
+  in
+  let config =
+    {
+      Serve.Server.machine = spec;
+      world_size = world;
+      head_dim;
+      slo = { Serve.Slo.ttft_us = slo_ttft; tpot_us = slo_tpot };
+      queue_capacity;
+      max_batch;
+      kv_capacity;
+      timeout_us;
+      chaos;
+    }
+  in
+  let serve ?telemetry () = Serve.Server.run ?telemetry config trace in
+  let telemetry =
+    if perfetto_path <> None then Some (Obs.Telemetry.create ()) else None
+  in
+  let report = serve ?telemetry () in
+  let json = Serve.Server.report_to_string report in
+  Printf.printf
+    "serve: %d offered  %d completed  %d shed (%d queue, %d deadline, %d \
+     timeout)  %d in-flight\n"
+    report.Serve.Server.r_offered report.Serve.Server.r_completed
+    (report.Serve.Server.r_shed_queue_full
+    + report.Serve.Server.r_shed_deadline
+    + report.Serve.Server.r_shed_timeout)
+    report.Serve.Server.r_shed_queue_full report.Serve.Server.r_shed_deadline
+    report.Serve.Server.r_shed_timeout report.Serve.Server.r_in_flight;
+  Printf.printf
+    "  ttft p50/p99 %.1f/%.1f us  tpot p50/p99 %.1f/%.1f us  goodput %.1f \
+     rps (%d/%d in SLO)\n"
+    report.Serve.Server.r_ttft.Serve.Slo.d_p50
+    report.Serve.Server.r_ttft.Serve.Slo.d_p99
+    report.Serve.Server.r_tpot.Serve.Slo.d_p50
+    report.Serve.Server.r_tpot.Serve.Slo.d_p99
+    report.Serve.Server.r_goodput_rps report.Serve.Server.r_slo_met
+    report.Serve.Server.r_completed;
+  Printf.printf
+    "  %d steps (%d faulted, %d fallback)  %d retries  %d failovers  %d \
+     tier changes  world %d->%d\n"
+    report.Serve.Server.r_steps report.Serve.Server.r_faulted_steps
+    report.Serve.Server.r_fallback_steps report.Serve.Server.r_retries
+    report.Serve.Server.r_failovers report.Serve.Server.r_tier_changes world
+    report.Serve.Server.r_world_end;
+  List.iter
+    (fun (tier, us) ->
+      if us > 0. then Printf.printf "  tier %-10s %12.1f us\n" tier us)
+    report.Serve.Server.r_tier_us;
+  (match out with
+  | Some path ->
+    write_file path json;
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  (match (perfetto_path, telemetry) with
+  | Some path, Some tel ->
+    write_file path
+      (Obs.Perfetto.export_string
+         ~trace:(Tilelink_sim.Trace.create ())
+         ~journal:(Obs.Telemetry.journal tel) ());
+    Printf.printf "wrote %s (shed and tier-change instants marked)\n" path
+  | _ -> ());
+  if check then begin
+    if not (Serve.Server.conservation_ok report) then begin
+      Printf.eprintf
+        "serve check FAILED: request conservation violated (offered %d <> \
+         completed %d + shed %d + failed %d + in-flight %d)\n"
+        report.Serve.Server.r_offered report.Serve.Server.r_completed
+        (report.Serve.Server.r_shed_queue_full
+        + report.Serve.Server.r_shed_deadline
+        + report.Serve.Server.r_shed_timeout)
+        report.Serve.Server.r_failed report.Serve.Server.r_in_flight;
+      exit 2
+    end;
+    let json2 = Serve.Server.report_to_string (serve ()) in
+    if json <> json2 then begin
+      Printf.eprintf
+        "serve check FAILED: same seed produced different report JSON\n";
+      exit 2
+    end;
+    Printf.printf
+      "serve check: ok (conserved; report byte-identical across two runs)\n"
+  end
+
+let serve_cmd =
+  let trace_arg =
+    Arg.(
+      value & opt string "poisson"
+      & info [ "trace" ] ~docv:"poisson|bursty|FILE"
+          ~doc:
+            "Arrival process: seeded Poisson, seeded bursty (two-state \
+             MMPP), or a replayed CSV trace (arrival_us,prompt,decode per \
+             line).")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 1000.
+      & info [ "rate" ] ~docv:"RPS" ~doc:"Mean arrival rate, requests/s.")
+  in
+  let burst_arg =
+    Arg.(
+      value & opt float 8.
+      & info [ "burst" ] ~docv:"X"
+          ~doc:"Bursty trace: ON-state rate multiplier (>= 1).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests to generate.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Trace generation seed.")
+  in
+  let prompt_mean_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "prompt-mean" ] ~docv:"TOKENS" ~doc:"Mean prompt length.")
+  in
+  let decode_mean_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "decode-mean" ] ~docv:"TOKENS" ~doc:"Mean output length.")
+  in
+  let head_dim_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "head-dim" ] ~docv:"D" ~doc:"Attention head dimension.")
+  in
+  let slo_ttft_arg =
+    Arg.(
+      value & opt float 50_000.
+      & info [ "slo-ttft-us" ] ~docv:"US"
+          ~doc:"Time-to-first-token objective.")
+  in
+  let slo_tpot_arg =
+    Arg.(
+      value & opt float 2_000.
+      & info [ "slo-tpot-us" ] ~docv:"US"
+          ~doc:"Per-output-token latency objective.")
+  in
+  let queue_capacity_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"Admission queue bound; overflow is shed (backpressure).")
+  in
+  let max_batch_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:"Full-tier batch cap; degraded tiers halve it.")
+  in
+  let kv_capacity_arg =
+    Arg.(
+      value & opt int 8192
+      & info [ "kv-capacity" ] ~docv:"TOKENS"
+          ~doc:"Resident KV-cache budget across the batch.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 1_000_000.
+      & info [ "timeout-us" ] ~docv:"US"
+          ~doc:"Per-request server-side timeout.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-seed" ] ~docv:"N"
+          ~doc:"Seed for the crash schedule (defaults to --seed).")
+  in
+  let crash_ranks_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "crash-ranks" ] ~docv:"N"
+          ~doc:
+            "Crash N seeded ranks mid-trace; the serve continues on the \
+             survivors.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the report JSON here.")
+  in
+  let perfetto_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:"Write a Perfetto trace with shed/tier-change instants.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Fail unless the report conserves requests and is \
+             byte-identical across two runs.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a trace of requests through the continuous batcher with \
+          admission control, SLO-aware degradation, and optional seeded \
+          rank crashes.")
+    Term.(
+      const serve_run $ trace_arg $ rate_arg $ burst_arg $ requests_arg
+      $ seed_arg $ prompt_mean_arg $ decode_mean_arg $ world_arg
+      $ head_dim_arg $ slo_ttft_arg $ slo_tpot_arg $ queue_capacity_arg
+      $ max_batch_arg $ kv_capacity_arg $ timeout_arg $ chaos_seed_arg
+      $ crash_ranks_arg $ out_arg $ perfetto_arg $ check_arg)
+
+(* ------------------------------------------------------------------ *)
 (* verify                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1650,8 +1903,9 @@ let verify_cmd =
 let () =
   let doc = "TileLink reproduction: overlapped kernels on a simulated GPU cluster" in
   exit
-    (Cmd.eval
-       (Cmd.group
+    (try
+       Cmd.eval ~catch:false
+         (Cmd.group
           (Cmd.info "tilelink" ~doc)
           [
             info_cmd;
@@ -1666,5 +1920,12 @@ let () =
             report_cmd;
             profile_cmd;
             chaos_cmd;
+            serve_cmd;
             verify_cmd;
-          ]))
+          ])
+     with
+    (* A structured flag-combination rejection is user error, not a
+       crash: render backend/feature/reason/hint without a backtrace. *)
+    | Runtime.Unsupported u ->
+      Printf.eprintf "tilelink: %s\n" (Runtime.unsupported_to_string u);
+      3)

@@ -36,6 +36,12 @@ type event =
   | Resumed of { rank : int; replayed : int; latency : float }
       (** Failover replayed [replayed] lost tasks of [rank] and
           resumed, [latency] µs after the crash. *)
+  | Request_shed of { id : int; reason : string }
+      (** The serving layer dropped request [id]
+        (queue_full/deadline/timeout) instead of poisoning the batch. *)
+  | Tier_change of { tier : string; pressure : float }
+      (** The serving layer's degradation controller switched to
+          [tier] at queue [pressure] (depth / capacity). *)
 
 (* Severity: the routine signal/tile chatter is Debug; recovery
    actions the watchdog took are Info; lost-work outcomes (degraded
@@ -62,8 +68,10 @@ let level_of_event = function
   | Signal_set _ | Wait_begin _ | Wait_end _ | Tile_push _ | Tile_pull _
   | Channel_acquire _ | Channel_release _ ->
     Debug
-  | Fault_injected _ | Retry _ | Recovered _ | Remapped _ | Resumed _ -> Info
-  | Stall_detected _ | Degraded _ -> Warn
+  | Fault_injected _ | Retry _ | Recovered _ | Remapped _ | Resumed _
+  | Tier_change _ ->
+    Info
+  | Stall_detected _ | Degraded _ | Request_shed _ -> Warn
   | Deadlock _ | Rank_crashed _ -> Error
 
 type entry = { t : float; seq : int; event : event }
@@ -143,6 +151,8 @@ let event_name = function
   | Rank_crashed _ -> "rank_crashed"
   | Remapped _ -> "remapped"
   | Resumed _ -> "resumed"
+  | Request_shed _ -> "request_shed"
+  | Tier_change _ -> "tier_change"
 
 let entry_to_json { t = time; seq; event } =
   let base = [ ("t", Json.Num time); ("seq", Json.Num (float_of_int seq)) ] in
@@ -231,6 +241,10 @@ let entry_to_json { t = time; seq; event } =
         ("replayed", Json.Num (float_of_int replayed));
         ("latency", Json.Num latency);
       ]
+    | Request_shed { id; reason } ->
+      [ ("id", Json.Num (float_of_int id)); ("reason", Json.Str reason) ]
+    | Tier_change { tier; pressure } ->
+      [ ("tier", Json.Str tier); ("pressure", Json.Num pressure) ]
   in
   Json.Obj
     (("event", Json.Str (event_name event))
@@ -271,6 +285,9 @@ let entry_summary { t = time; event; _ } =
       Printf.sprintf "rank=%d tiles=%d" rank tiles
     | Resumed { rank; replayed; latency } ->
       Printf.sprintf "rank=%d replayed=%d after %.1fus" rank replayed latency
+    | Request_shed { id; reason } -> Printf.sprintf "id=%d %s" id reason
+    | Tier_change { tier; pressure } ->
+      Printf.sprintf "%s pressure=%.2f" tier pressure
   in
   Printf.sprintf "t=%.1f %s %s" time (event_name event) detail
 

@@ -22,6 +22,12 @@ type event =
   | Rank_crashed of { rank : int; transient : bool }
   | Remapped of { rank : int; tiles : int }
   | Resumed of { rank : int; replayed : int; latency : float }
+  | Request_shed of { id : int; reason : string }
+      (** The serving layer's admission control dropped request [id];
+          [reason] is one of queue_full/deadline/timeout. *)
+  | Tier_change of { tier : string; pressure : float }
+      (** The serving layer's degradation controller switched tiers at
+          the given queue pressure (depth / capacity). *)
 
 (** Severity of an event: routine signal/tile chatter is [Debug],
     watchdog recovery actions are [Info], lost-work outcomes are

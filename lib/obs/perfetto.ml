@@ -278,6 +278,17 @@ let instant_events ?min_level journal =
                ("replayed", Json.Num (float_of_int replayed));
                ("latency_us", Json.Num latency);
              ])
+      | Journal.Request_shed { id; reason } ->
+        Some
+          (instant ~name:"SHED" ~scope:"p" ~t ~rank:0
+             [
+               ("id", Json.Num (float_of_int id));
+               ("reason", Json.Str reason);
+             ])
+      | Journal.Tier_change { tier; pressure } ->
+        Some
+          (instant ~name:"TIER" ~scope:"g" ~t ~rank:0
+             [ ("tier", Json.Str tier); ("pressure", Json.Num pressure) ])
       | _ -> None)
     (Journal.entries ?min_level journal)
 

@@ -1,0 +1,75 @@
+(** The serving layer's driver: an open-loop trace in, a conservation
+    report out.
+
+    The server runs a virtual clock over the trace: arrivals enter the
+    bounded admission queue (overflow is shed — backpressure), the
+    batcher is filled up to the degradation tier's cap subject to KV
+    residency (a request whose prompt can never fit is shed at offer
+    time), stale queue heads are deadline-shed, running requests past
+    the per-request timeout are evicted, and each scheduler step
+    advances the clock by the tile program's simulated makespan.  With
+    [chaos], one seeded rank-crash fires mid-trace (at a seed-chosen
+    fraction of the arrival span) and the serve continues on the
+    survivors.
+
+    Everything derives from the trace, the seeds and the simulated
+    clock — a fixed (trace, config) pair produces a byte-identical
+    {!report_to_string}. *)
+
+type chaos = { ch_seed : int; ch_crash_ranks : int }
+
+type config = {
+  machine : Tilelink_machine.Spec.t;
+  world_size : int;
+  head_dim : int;
+  slo : Slo.spec;
+  queue_capacity : int;
+  max_batch : int;  (** full-tier batch cap; degraded tiers halve it *)
+  kv_capacity : int;  (** resident KV tokens across the batch *)
+  timeout_us : float;  (** per-request server-side bound *)
+  chaos : chaos option;
+}
+
+type report = {
+  r_offered : int;
+  r_accepted : int;  (** admitted past backpressure *)
+  r_completed : int;
+  r_shed_queue_full : int;
+  r_shed_deadline : int;
+  r_shed_timeout : int;
+  r_failed : int;  (** aborted by unrecoverable faults *)
+  r_in_flight : int;  (** queued + running at drain; 0 when conserved *)
+  r_slo_met : int;  (** completions inside both SLOs *)
+  r_goodput_rps : float;  (** SLO-met completions per second *)
+  r_makespan_us : float;
+  r_steps : int;
+  r_faulted_steps : int;
+  r_fallback_steps : int;  (** steps completed on the serialized path *)
+  r_retries : int;
+  r_failovers : int;  (** ranks failed over by the crash coordinator *)
+  r_replayed_tiles : int;
+  r_tier_changes : int;
+  r_tier_us : (string * float) list;  (** µs per degradation tier *)
+  r_ttft : Slo.digest;  (** completed requests only *)
+  r_tpot : Slo.digest;  (** completed requests only *)
+  r_world_end : int;  (** surviving ranks *)
+}
+
+val run :
+  ?telemetry:Tilelink_obs.Telemetry.t ->
+  config ->
+  Trace_gen.request list ->
+  report
+(** Serve the trace to drain.  With [telemetry], sheds and tier
+    changes are journaled ({!Tilelink_obs.Journal.Request_shed},
+    {!Tilelink_obs.Journal.Tier_change}) at server-clock time and so
+    reach the Perfetto export.  Raises [Invalid_argument] on an empty
+    trace or a non-positive config bound. *)
+
+val conservation_ok : report -> bool
+(** offered = completed + shed + failed + in-flight, and in-flight is
+    0 at drain. *)
+
+val report_to_json : report -> Tilelink_obs.Json.t
+val report_to_string : report -> string
+(** Stable indented JSON — the byte-identity surface. *)

@@ -1,0 +1,36 @@
+module Json = Tilelink_obs.Json
+
+type spec = { ttft_us : float; tpot_us : float }
+type sample = { s_ttft_us : float; s_tpot_us : float }
+
+let meets spec s = s.s_ttft_us <= spec.ttft_us && s.s_tpot_us <= spec.tpot_us
+
+type digest = {
+  d_count : int;
+  d_p50 : float;
+  d_p99 : float;
+  d_mean : float;
+  d_max : float;
+}
+
+let digest = function
+  | [] -> { d_count = 0; d_p50 = 0.; d_p99 = 0.; d_mean = 0.; d_max = 0. }
+  | xs ->
+    let n = List.length xs in
+    {
+      d_count = n;
+      d_p50 = Tilelink_sim.Stats.percentile 50. xs;
+      d_p99 = Tilelink_sim.Stats.percentile 99. xs;
+      d_mean = List.fold_left ( +. ) 0. xs /. float_of_int n;
+      d_max = List.fold_left max neg_infinity xs;
+    }
+
+let digest_to_json d =
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int d.d_count));
+      ("p50_us", Json.Num d.d_p50);
+      ("p99_us", Json.Num d.d_p99);
+      ("mean_us", Json.Num d.d_mean);
+      ("max_us", Json.Num d.d_max);
+    ]

@@ -1,0 +1,28 @@
+(** Service-level objectives and latency digests for the serving
+    layer: time-to-first-token (TTFT) and time-per-output-token
+    (TPOT), with exact-percentile summaries.
+
+    Only completed requests contribute samples — a shed or failed
+    request never enters a percentile, so degradation shows up in the
+    goodput and shed counts instead of silently polluting latency. *)
+
+type spec = { ttft_us : float; tpot_us : float }
+(** A request meets its SLO when TTFT <= [ttft_us] and its mean
+    per-output-token latency <= [tpot_us]. *)
+
+type sample = { s_ttft_us : float; s_tpot_us : float }
+
+val meets : spec -> sample -> bool
+
+type digest = {
+  d_count : int;
+  d_p50 : float;
+  d_p99 : float;
+  d_mean : float;
+  d_max : float;
+}
+(** Exact percentiles (nearest-rank, {!Tilelink_sim.Stats.percentile});
+    all fields 0 when [d_count = 0]. *)
+
+val digest : float list -> digest
+val digest_to_json : digest -> Tilelink_obs.Json.t

@@ -485,6 +485,30 @@ let no_survivor_stall ~dead ~lost ~t_crash ~now channels program =
         (Channel.pending_waits channels);
   }
 
+(* A structured "this combination does not exist" diagnostic: which
+   backend, which feature, why, and what to do instead.  Raised for
+   flag combinations that are wrong by construction (not by program
+   content), so callers — the CLI in particular — can render it
+   without a backtrace. *)
+type unsupported = {
+  u_backend : string;
+  u_feature : string;
+  u_reason : string;
+  u_hint : string;
+}
+
+exception Unsupported of unsupported
+
+let unsupported_to_string u =
+  Printf.sprintf
+    "the %s backend does not support %s: %s (hint: %s)" u.u_backend
+    u.u_feature u.u_reason u.u_hint
+
+let () =
+  Printexc.register_printer (function
+    | Unsupported u -> Some ("Runtime.Unsupported: " ^ unsupported_to_string u)
+    | _ -> None)
+
 let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) ?rebuild
     ?(backend = `Sequential) cluster (program : Program.t) =
   (match Program.validate program with
@@ -506,10 +530,18 @@ let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) ?rebuild
        windows are all in sim time) — reject it loudly rather than
        silently ignoring the control. *)
     if chaos <> None then
-      invalid_arg
-        "Runtime.run: the parallel backend does not support chaos fault \
-         injection (fault schedules and the watchdog live on the simulated \
-         clock); use the sequential interpreter";
+      raise
+        (Unsupported
+           {
+             u_backend = "parallel";
+             u_feature = "chaos fault injection";
+             u_reason =
+               "fault schedules and the watchdog live on the simulated \
+                clock, which the domain-per-rank backend does not run";
+             u_hint =
+               "use the sequential interpreter (drop ~backend / pass \
+                `Sequential) for chaos runs";
+           });
     ignore rebuild;
     let memory =
       match memory with

@@ -160,16 +160,27 @@ let test_rejects_chaos () =
     Cluster.create machine ~world_size:(Program.world_size program)
   in
   let chaos = Chaos.control ~schedule:(Chaos.plan ~seed:7 ~world_size:2 ()) () in
-  Alcotest.check_raises
-    (Printf.sprintf "%s: chaos under parallel backend" name)
-    (Invalid_argument
-       "Runtime.run: the parallel backend does not support chaos fault \
-        injection (fault schedules and the watchdog live on the simulated \
-        clock); use the sequential interpreter")
-    (fun () ->
-      ignore
-        (Runtime.run ~data:true ~memory ~chaos ~backend:(`Parallel 2) cluster
-           program))
+  (* The rejection must be the structured Unsupported diagnostic — a
+     caller (the CLI) renders backend/feature/reason/hint without a
+     backtrace — not a bare Invalid_argument. *)
+  match
+    Runtime.run ~data:true ~memory ~chaos ~backend:(`Parallel 2) cluster
+      program
+  with
+  | exception Runtime.Unsupported u ->
+    Alcotest.(check string)
+      (Printf.sprintf "%s: refusing backend" name)
+      "parallel" u.Runtime.u_backend;
+    Alcotest.(check bool)
+      "feature names chaos" true
+      (u.Runtime.u_feature = "chaos fault injection");
+    Alcotest.(check bool)
+      "reason and hint are non-empty" true
+      (u.Runtime.u_reason <> "" && u.Runtime.u_hint <> "")
+  | exception e ->
+    Alcotest.failf "expected Runtime.Unsupported, got %s"
+      (Printexc.to_string e)
+  | _ -> Alcotest.fail "chaos admitted to the parallel backend"
 
 let test_analyzer_gate () =
   let _, case = List.hd (Suite.data_cases ()) in
