@@ -1196,6 +1196,220 @@ let bench_json_parallel () =
     (fun row -> { descr = "parallel|uncached"; compute = (fun () -> row) })
     rows
 
+(* ------------------------------------------------------------------ *)
+(* planner suite                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The auto-overlap planner against every hand-written AG+GEMM schedule
+   of the shipped-program sweep (same shapes, machine and design points
+   as [Suite.build_cases]), plus operator graphs no hand-written kernel
+   covers.  The candidate list handed to the planner includes the
+   hand-written design points, so "rediscover or beat" is a sharp gate:
+   the search minimum can never lose to a hand schedule by more than
+   simulation noise (and the simulator is deterministic, so not even
+   that). *)
+
+module Planner = Tilelink_core.Planner
+
+let planner_machine = Calib.test_machine
+
+let planner_sweep_config ~world ~comm_tile =
+  let ring = Tilelink_core.Tile.Ring_from_self { segments = world } in
+  {
+    Design_space.comm_tile = (comm_tile, 128);
+    compute_tile = (2, 2);
+    comm_order = ring;
+    compute_order = ring;
+    binding = Design_space.Comm_on_sm 1;
+    stages = 2;
+    micro_block = 0;
+  }
+
+let planner_hand_candidates ~world =
+  List.concat_map
+    (fun comm_tile ->
+      List.map
+        (fun pl_transfer ->
+          {
+            Planner.pl_config = planner_sweep_config ~world ~comm_tile;
+            pl_transfer;
+            pl_chunks = 2;
+          })
+        [ Planner.Pull; Planner.Push ])
+    [ 2; 4 ]
+
+let planner_search ~world ?(extra = []) graph =
+  let candidates =
+    Planner.enumerate (Planner.default_space graph) @ extra
+  in
+  match
+    Planner.search ~candidates graph ~spec_gpu:planner_machine
+      ~make_cluster:(fun () ->
+        Cluster.create planner_machine ~world_size:world)
+      ()
+  with
+  | Some plan -> plan
+  | None ->
+    failwith ("planner: no plan for " ^ Planner.graph_fingerprint graph)
+
+let planner_run ~world program =
+  let cluster = Cluster.create planner_machine ~world_size:world in
+  let result = Tilelink_core.Runtime.run cluster program in
+  (result.Tilelink_core.Runtime.makespan, mean_overlap cluster ~world_size:world)
+
+let planner_analyzer_clean program =
+  match Tilelink_core.Analyzer.check program with
+  | Ok () -> true
+  | Error _ -> false
+
+let planner_descr name =
+  String.concat "|"
+    [ "planner"; Spec.fingerprint planner_machine; name; "v1" ]
+
+let tensors_equal a b =
+  Tilelink_tensor.Tensor.shape a = Tilelink_tensor.Tensor.shape b
+  && Tilelink_tensor.Tensor.data a = Tilelink_tensor.Tensor.data b
+
+let bench_json_planner () =
+  let vs_hand_rows =
+    List.concat_map
+      (fun world ->
+        List.concat_map
+          (fun comm_tile ->
+            List.map
+              (fun (tag, transfer) ->
+                let name =
+                  Printf.sprintf "mlp_ag_gemm_%s/w%d/t%d" tag world comm_tile
+                in
+                {
+                  descr = planner_descr name;
+                  compute =
+                    (fun () ->
+                      let shapes =
+                        { Mlp.m = 8 * world; k = 4; n = 6; world_size = world }
+                      in
+                      let hand =
+                        Mlp.ag_gemm_program ~transfer
+                          ~config:(planner_sweep_config ~world ~comm_tile)
+                          shapes ~spec_gpu:planner_machine
+                      in
+                      let hand_us, _ = planner_run ~world hand in
+                      let plan =
+                        planner_search ~world
+                          ~extra:(planner_hand_candidates ~world)
+                          (Planned.mlp_graph shapes)
+                      in
+                      let planner_us, overlap =
+                        planner_run ~world plan.Planner.p_program
+                      in
+                      Obs.Json.Obj
+                        [
+                          ("config", Obs.Json.Str name);
+                          ("kernel", Obs.Json.Str "planner-vs-hand");
+                          ("makespan_us", Obs.Json.Num planner_us);
+                          ("overlap_ratio", Obs.Json.Num overlap);
+                          ("handwritten_us", Obs.Json.Num hand_us);
+                          ( "ratio_vs_hand",
+                            Obs.Json.Num (planner_us /. hand_us) );
+                          ( "analyzer_clean",
+                            Obs.Json.Bool
+                              (planner_analyzer_clean plan.Planner.p_program)
+                          );
+                          ( "winner",
+                            Obs.Json.Str
+                              (Planner.candidate_to_string
+                                 plan.Planner.p_candidate) );
+                        ]);
+                })
+              [ ("pull", `Pull); ("push", `Push) ])
+          [ 2; 4 ])
+      [ 2; 4; 8 ]
+  in
+  (* Operator graphs with no hand-written counterpart: the planner must
+     still produce an analyzer-clean program whose data actions
+     reproduce the references bit for bit. *)
+  let novel name ~world ~alloc ~checks graph =
+    {
+      descr = planner_descr name;
+      compute =
+        (fun () ->
+          let plan = planner_search ~world graph in
+          let planner_us, overlap = planner_run ~world plan.Planner.p_program in
+          let memory = alloc () in
+          (* Data programs are single-use; synthesize the winner afresh. *)
+          let data_program =
+            Planner.synthesize graph plan.Planner.p_candidate
+              ~spec_gpu:planner_machine
+          in
+          let cluster = Cluster.create planner_machine ~world_size:world in
+          ignore
+            (Tilelink_core.Runtime.run ~data:true ~memory cluster data_program);
+          let numerics_ok =
+            List.for_all
+              (fun (out, expected) ->
+                List.for_all
+                  (fun rank ->
+                    tensors_equal (expected ~rank)
+                      (Tilelink_core.Memory.find memory ~rank ~name:out))
+                  (List.init world Fun.id))
+              (checks memory)
+          in
+          Obs.Json.Obj
+            [
+              ("config", Obs.Json.Str name);
+              ("kernel", Obs.Json.Str "planner-novel");
+              ("makespan_us", Obs.Json.Num planner_us);
+              ("overlap_ratio", Obs.Json.Num overlap);
+              ( "analyzer_clean",
+                Obs.Json.Bool (planner_analyzer_clean plan.Planner.p_program)
+              );
+              ("numerics_ok", Obs.Json.Bool numerics_ok);
+              ( "winner",
+                Obs.Json.Str
+                  (Planner.candidate_to_string plan.Planner.p_candidate) );
+            ]);
+    }
+  in
+  let fused_spec = { Mlp.m = 16; k = 4; n = 6; world_size = 2 } in
+  let novel_rows =
+    [
+      novel "softmax/w2" ~world:2
+        ~alloc:(fun () -> Planned.softmax_alloc ~m:16 ~k:5 ~world:2 ~seed:7)
+        ~checks:(fun memory ->
+          [
+            ( "p",
+              fun ~rank:_ -> Planned.softmax_reference memory ~m:16 ~world:2 );
+          ])
+        (Planned.softmax_graph ~m:16 ~k:5 ~world:2);
+      novel "moe_ffn/w2" ~world:2
+        ~alloc:(fun () ->
+          Planned.moe_alloc ~m:16 ~k:4 ~n:5 ~world:2 ~seed:19)
+        ~checks:(fun memory ->
+          [
+            ( "h_gate",
+              fun ~rank -> Planned.moe_reference memory ~weights:"w_gate" ~rank
+            );
+            ( "h_up",
+              fun ~rank -> Planned.moe_reference memory ~weights:"w_up" ~rank
+            );
+          ])
+        (Planned.moe_graph ~m:16 ~k:4 ~n:5 ~world:2);
+      novel "fused_gemm_softmax/w2" ~world:2
+        ~alloc:(fun () -> Planned.fused_alloc fused_spec ~seed:13)
+        ~checks:(fun memory ->
+          [
+            ( "y",
+              fun ~rank -> Planned.fused_gemm_reference memory fused_spec ~rank
+            );
+            ( "p",
+              fun ~rank:_ -> Planned.fused_softmax_reference memory fused_spec
+            );
+          ])
+        (Planned.fused_graph fused_spec);
+    ]
+  in
+  vs_hand_rows @ novel_rows
+
 let json_suites =
   [
     ("mlp", bench_json_mlp);
@@ -1205,6 +1419,7 @@ let json_suites =
     ("serving", bench_json_serving);
     ("kernels", bench_json_kernels);
     ("parallel", bench_json_parallel);
+    ("planner", bench_json_planner);
   ]
 
 (* Wall-clock suites must be re-measured every run: serving a timing
@@ -1311,6 +1526,37 @@ let check_bench_json path =
             fail "serving: tpot p99 below p50"
         end)
       rows;
+  (if suite = "planner" then begin
+     (* Every synthesized winner must be analyzer-clean; rows with a
+        hand-written counterpart must rediscover or beat it (5%
+        tolerance); novel-graph rows must reproduce their references
+        bit for bit.  Both row kinds must actually be present. *)
+     let compared = ref 0 and novel = ref 0 in
+     List.iter
+       (fun row ->
+         (match Obs.Json.member "analyzer_clean" row with
+         | Some (Obs.Json.Bool true) -> ()
+         | _ -> fail "planner: winner not analyzer-clean");
+         (match Obs.Json.member "ratio_vs_hand" row with
+         | Some (Obs.Json.Num r) ->
+           incr compared;
+           if not (Float.is_finite r) then
+             fail "planner: non-finite ratio_vs_hand";
+           if r > 1.05 then
+             fail
+               (Printf.sprintf
+                  "planner: %s loses to the hand-written schedule (%.3fx)"
+                  (str_field row "config") r)
+         | Some _ -> fail "planner: ratio_vs_hand not numeric"
+         | None -> ());
+         match Obs.Json.member "numerics_ok" row with
+         | Some (Obs.Json.Bool true) -> incr novel
+         | Some _ -> fail "planner: novel graph numerics diverge"
+         | None -> ())
+       rows;
+     if !compared = 0 then fail "planner: no hand-written comparison rows";
+     if !novel = 0 then fail "planner: no novel-graph rows"
+   end);
   if suite = "parallel" then
     List.iter
       (fun row ->

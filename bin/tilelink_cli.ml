@@ -1899,6 +1899,160 @@ let verify_cmd =
     Term.(const verify $ json_arg $ check_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* plan                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Auto-overlap planner: derive the Pc protocol for an operator graph
+   instead of picking a hand-written kernel.  --check runs the search
+   twice on fresh state and byte-compares the winners (exit 2 on
+   divergence); --emit prints the winning synthesized program. *)
+
+let plan_summary (p : Planner.plan) =
+  Printf.sprintf "%s|%.6f" (Planner.fingerprint p.Planner.p_candidate)
+    p.Planner.p_time
+
+let plan_json ~family ~graph (p : Planner.plan) =
+  let module J = Tilelink_obs.Json in
+  let o = p.Planner.p_outcome in
+  J.Obj
+    [
+      ("workload", J.Str family);
+      ("graph", J.Str (Planner.graph_fingerprint graph));
+      ("winner", J.Str (Planner.candidate_to_string p.Planner.p_candidate));
+      ("winner_fingerprint", J.Str (Planner.fingerprint p.Planner.p_candidate));
+      ("makespan_us", J.Num p.Planner.p_time);
+      ( "exposed_comm_us",
+        match p.Planner.p_exposed_comm_us with
+        | Some x -> J.Num x
+        | None -> J.Null );
+      ("evaluated", J.Num (float_of_int (List.length o.Tune.evaluated)));
+      ("skipped", J.Num (float_of_int o.Tune.skipped));
+      ("skipped_build", J.Num (float_of_int o.Tune.skipped_build));
+      ("skipped_race", J.Num (float_of_int o.Tune.skipped_race));
+      ("cache_hits", J.Num (float_of_int o.Tune.cache_hits));
+      ("cache_misses", J.Num (float_of_int o.Tune.cache_misses));
+    ]
+
+let plan family m k n world seed jobs cache_path json_path check_flag emit_flag
+    =
+  let graph, _memory =
+    match Planned.family_of_string family with
+    | Some fam -> Planned.build fam ~m ~k ~n ~world ~seed
+    | None ->
+      Printf.eprintf "tilelink plan: unknown workload %S (one of %s)\n" family
+        (String.concat ", " Planned.family_names);
+      exit 2
+  in
+  let search ~cache () =
+    let pool = make_pool jobs in
+    let result =
+      Planner.search ?pool ~cache graph ~spec_gpu:spec
+        ~make_cluster:(fun () -> Cluster.create spec ~world_size:world)
+        ()
+    in
+    (result, pool)
+  in
+  let cache = make_cache cache_path in
+  let result, pool = search ~cache () in
+  match result with
+  | None ->
+    Printf.eprintf
+      "tilelink plan: no candidate both built and passed the analyzer\n";
+    exit 1
+  | Some p ->
+    let o = p.Planner.p_outcome in
+    Printf.printf "plan %s: best %.1f us%s\n   [%s]\n" family p.Planner.p_time
+      (match p.Planner.p_exposed_comm_us with
+      | Some x -> Printf.sprintf " (%.1f us comm exposed)" x
+      | None -> "")
+      (Planner.candidate_to_string p.Planner.p_candidate);
+    Printf.printf
+      "   graph %s\n   %d evaluated, %d skipped (build %d, race %d), cache %d \
+       hits / %d misses\n"
+      (Planner.graph_fingerprint graph)
+      (List.length o.Tune.evaluated)
+      o.Tune.skipped o.Tune.skipped_build o.Tune.skipped_race o.Tune.cache_hits
+      o.Tune.cache_misses;
+    print_pool_stats pool;
+    save_cache cache;
+    if check_flag then begin
+      (* A second search on fresh in-memory state must reproduce the
+         winner byte for byte, whatever the pool width. *)
+      match search ~cache:(Exec.Cache.create ()) () with
+      | None, _ ->
+        Printf.eprintf "plan check FAIL: second search found no plan\n";
+        exit 2
+      | Some p2, _ ->
+        if plan_summary p <> plan_summary p2 then begin
+          Printf.eprintf "plan check FAIL: %s <> %s\n" (plan_summary p)
+            (plan_summary p2);
+          exit 2
+        end;
+        Printf.printf "plan check ok: winner stable across searches\n"
+    end;
+    (match json_path with
+    | None -> ()
+    | Some path ->
+      let rendered =
+        Tilelink_obs.Json.to_string ~indent:true (plan_json ~family ~graph p)
+      in
+      if path = "-" then print_endline rendered
+      else begin
+        let oc = open_out path in
+        output_string oc rendered;
+        close_out oc;
+        Printf.printf "wrote plan to %s\n" path
+      end);
+    if emit_flag then Format.printf "%a@." Program.pp p.Planner.p_program
+
+let plan_cmd =
+  let workload_arg =
+    Arg.(
+      value
+      & opt string "mlp"
+      & info [ "workload" ] ~docv:"FAMILY"
+          ~doc:
+            "Operator graph family: mlp (AllGather+GEMM), softmax \
+             (AllGather+row softmax), moe (AllGather feeding gate and up \
+             projections), fused (GEMM and softmax sharing one gather).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 11
+      & info [ "seed" ] ~docv:"N" ~doc:"Seed for workload buffers.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the winning plan and search statistics as JSON ('-' \
+                for stdout).")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Determinism gate: search twice on fresh state and require \
+             byte-identical winners (exit 2 on divergence).")
+  in
+  let emit_arg =
+    Arg.(
+      value & flag
+      & info [ "emit" ] ~doc:"Print the winning synthesized program.")
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Derive an overlapped Pc protocol for an operator graph: enumerate \
+          push/pull schedules over the decoupled design space, prune with \
+          the protocol analyzer, score under the simulator.")
+    Term.(
+      const plan $ workload_arg $ m_arg $ k_arg $ n_arg $ world_arg $ seed_arg
+      $ jobs_arg $ cache_path_arg $ json_arg $ check_arg $ emit_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "TileLink reproduction: overlapped kernels on a simulated GPU cluster" in
@@ -1911,6 +2065,7 @@ let () =
             info_cmd;
             simulate_cmd;
             tune_cmd;
+            plan_cmd;
             autotune_cmd;
             ablation_cmd;
             validate_cmd;

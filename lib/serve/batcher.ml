@@ -164,13 +164,11 @@ let crash_step t ~crash ~batch_q ~kv_q =
             (build ())
         with
         | r -> Ok r.Runtime.makespan
-        | exception Chaos.Stall _ -> Error ()
-        (* Multi-rank crashes can wedge the failover coordinator when
-           the second crash lands mid-replay of the first; the runtime
-           surfaces that as an (enriched) Engine.Deadlock rather than
-           a Stall.  Either way the step must complete: serialized
-           fallback. *)
-        | exception Tilelink_sim.Engine.Deadlock _ -> Error ())
+        (* Chaos.Stall is the one legitimate bail-out: no survivors
+           left (or an unrecoverable channel).  Multi-rank crashes —
+           including a second crash mid-replay of the first — are the
+           failover coordinator's job and must complete the step. *)
+        | exception Chaos.Stall _ -> Error ())
   in
   let rec_ = control.Chaos.c_recovery in
   let failed_over = List.length rec_.Chaos.failed_over in

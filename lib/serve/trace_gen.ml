@@ -95,8 +95,30 @@ let generate ?(prompt_mean = 128) ?(decode_mean = 16) ~seed ~requests arrival =
       let rq_decode = length lengths_prng ~mean:decode_mean in
       { rq_id = i; rq_arrival_us = times.(i); rq_prompt; rq_decode })
 
+(* CSV traces arrive from whatever tool produced them: Windows editors
+   emit CRLF endings and sometimes a UTF-8 BOM, old exports use bare
+   CR.  Normalize once up front — CRLF and CR each collapse to a
+   single '\n', so line numbers in error messages still match what the
+   user's editor shows. *)
+let normalize_newlines text =
+  let n = String.length text in
+  let start =
+    if n >= 3 && String.sub text 0 3 = "\xef\xbb\xbf" then 3 else 0
+  in
+  let buf = Buffer.create (n - start) in
+  let i = ref start in
+  while !i < n do
+    (match text.[!i] with
+    | '\r' ->
+      Buffer.add_char buf '\n';
+      if !i + 1 < n && text.[!i + 1] = '\n' then incr i
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
 let parse_trace text =
-  let lines = String.split_on_char '\n' text in
+  let lines = String.split_on_char '\n' (normalize_newlines text) in
   let rec go lineno acc = function
     | [] -> Ok (List.rev acc)
     | line :: rest ->

@@ -267,6 +267,14 @@ let crashes sched =
       match compare c1.cr_at c2.cr_at with 0 -> compare r1 r2 | c -> c)
     sched.crash_faults
 
+(* Replace the planned crash faults wholesale.  The seeded draws cannot
+   pin exact crash instants; tests and reproductions that need them
+   (e.g. "second crash lands mid-replay of the first") build a schedule
+   with [plan] and then install the crash list explicitly. *)
+let with_crashes sched faults =
+  sched.crash_faults <- faults;
+  sched
+
 let injected sched = List.rev sched.injected
 
 (* Interceptor: per-notify decisions hashed from (seed, key,
@@ -484,8 +492,8 @@ let group_overdue overdue =
    processes, polls while anything else is alive, and turns overdue
    waits into retries, degradations or a structured Stall.  All timing
    is simulation time; all randomness is the schedule's seeded coin. *)
-let watchdog_body ?hooks ~engine ~channels ~telemetry ~(control : control) ~wd
-    () =
+let watchdog_body ?hooks ?quiesce ~engine ~channels ~telemetry
+    ~(control : control) ~wd () =
   let open Tilelink_sim in
   let recov = control.c_recovery in
   let retry_state : (string, int * float) Hashtbl.t = Hashtbl.create 8 in
@@ -620,6 +628,16 @@ let watchdog_body ?hooks ~engine ~channels ~telemetry ~(control : control) ~wd
        that is real work still running (or blocked). *)
     if Engine.live_processes engine > 1 then begin
       let now = Engine.now engine in
+      (* While failover replay is in flight, a never-sent signal is most
+         likely one the replay is about to produce: deferring structural
+         triage until recovery settles keeps the watchdog from
+         force-releasing waits whose data is en route.  Recoverable
+         waits (signal issued, then lost) are still retried — the remap
+         already happened, so the force-signal lands on the right
+         counter. *)
+      let defer_structural =
+        match quiesce with Some q -> q () | None -> false
+      in
       let overdue =
         List.filter
           (fun (pw : Channel.pending_wait) ->
@@ -639,7 +657,10 @@ let watchdog_body ?hooks ~engine ~channels ~telemetry ~(control : control) ~wd
             end
             else give_up ~now rep ~value ~intended
           end
-          else if now -. rep.Channel.pw_since >= wd.stall_timeout_us then
+          else if
+            (not defer_structural)
+            && now -. rep.Channel.pw_since >= wd.stall_timeout_us
+          then
             (* Never-sent signal: only declared structural once even a
                pathological straggler would have produced it. *)
             give_up ~now rep ~value ~intended)

@@ -86,6 +86,12 @@ val plan :
 val crashes : schedule -> (int * crash) list
 (** Planned crash faults ordered by crash instant (then rank). *)
 
+val with_crashes : schedule -> (int * crash) list -> schedule
+(** Replace the schedule's planned crash faults with an explicit
+    (rank, crash) list — for tests and reproductions that must pin
+    exact crash instants (e.g. a second crash landing mid-replay of
+    the first), which the seeded draws cannot. *)
+
 val injected : schedule -> (string * string) list
 (** Injection log, oldest first: (fault kind, subject) where subject is
     a ["rank<i>"] for machine faults or the signal key for channel
@@ -182,6 +188,7 @@ val control : ?schedule:schedule -> ?watchdog:watchdog -> unit -> control
 
 val watchdog_body :
   ?hooks:(unit -> unit) ->
+  ?quiesce:(unit -> bool) ->
   engine:Tilelink_sim.Engine.t ->
   channels:Channel.t ->
   telemetry:Tilelink_obs.Telemetry.t option ->
@@ -195,4 +202,8 @@ val watchdog_body :
     runtime's crash-failover coordinator) runs at the top of every
     tick, before the live-process check and before overdue-wait
     processing — a crash that drains every worker must still be
-    recovered, and remap must precede any retry force-signals. *)
+    recovered, and remap must precede any retry force-signals.
+    [quiesce] (also the coordinator's) defers *structural* stall triage
+    while it returns [true]: during failover replay a never-sent signal
+    is usually one the replay is about to produce, so only recoverable
+    (sent-then-lost) waits are retried until recovery settles. *)

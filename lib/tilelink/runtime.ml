@@ -90,6 +90,9 @@ type ledger_entry = {
   mutable le_notified : int;
   mutable le_done : bool;
   mutable le_poisoned : bool;
+  mutable le_replaying : bool;
+      (* claimed by an in-flight replay process: the coordinator's sweep
+         must not spawn a second replay of the same tile *)
 }
 
 (* Raised inside instruction execution when the executing rank is found
@@ -657,6 +660,7 @@ let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) ?rebuild
                       le_notified = 0;
                       le_done = false;
                       le_poisoned = false;
+                      le_replaying = false;
                     }
                   in
                   ledger := e :: !ledger;
@@ -714,68 +718,102 @@ let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) ?rebuild
                ~live:(live_for rank) ~comm_active ~tracked role))
         plan)
     (Program.plans program);
-  (* The failover coordinator: runs at the top of every watchdog tick.
-     For each unhandled crash it validates the remapped protocol,
-     aliases the rerouted channel keys, marks the dead shard recovered,
-     snapshots the lost tiles, and replays them round-robin over the
-     survivors — all atomically from the discrete-event engine's point
-     of view except the replay itself, which charges real time. *)
-  let failover_hook () =
-    while not (Queue.is_empty pending_crashes) do
-      let dead, t_crash = Queue.pop pending_crashes in
-      let now = Cluster.now cluster in
-      let lost = lost_entries ledger ~dead in
-      let survivors =
-        List.filter
-          (fun r -> not (Hashtbl.mem crashed_once r))
-          (List.init (Program.world_size program) Fun.id)
+  (* The failover coordinator: runs at the top of every watchdog tick
+     and must *return without blocking* — a second crash landing while
+     the first crash's tiles are still replaying is only detected on a
+     later tick, so parking the tick in a join would wedge recovery
+     (and the whole run) for good.  Each tick makes three bounded,
+     non-blocking passes:
+     1. newly detected crashes: validate the remapped protocol, alias
+        the rerouted channel keys, mark the dead shard recovered;
+     2. replay sweep: spawn replay processes for lost tiles nobody is
+        replaying yet, without joining them.  A replay whose executing
+        survivor dies mid-task abandons, re-poisons its entry and
+        releases the claim, so the next sweep re-replays it on a
+        remaining survivor;
+     3. settle: once a crash's lost tiles are all done, record the
+        detect->resume latency and journal the resume. *)
+  let cpr = program.Program.pc_channels in
+  (* Fresh alias slots per survivor, allocated monotonically across
+     crashes: a second crash must not reuse slots the first already
+     aliased, or two logical channels would share one counter. *)
+  let next_slot = Array.make (Program.world_size program) cpr in
+  (* Crashes remapped but not yet settled, in crash order. *)
+  let settling : (int * float) Queue.t = Queue.create () in
+  let replayed_total = ref 0 in
+  let settled_replayed = ref 0 in
+  let survivors_now () =
+    List.filter
+      (fun r -> not (Hashtbl.mem crashed_once r))
+      (List.init (Program.world_size program) Fun.id)
+  in
+  let handle_crash (dead, t_crash) =
+    let now = Cluster.now cluster in
+    let lost = lost_entries ledger ~dead in
+    let survivors = survivors_now () in
+    if survivors = [] then begin
+      let stall =
+        no_survivor_stall ~dead ~lost ~t_crash ~now channels program
       in
-      if survivors = [] then begin
-        let stall =
-          no_survivor_stall ~dead ~lost ~t_crash ~now channels program
-        in
-        (match recovery with
-        | Some r -> r.Chaos.stalls <- r.Chaos.stalls @ [ stall ]
-        | None -> ());
-        journal_ev
-          (Obs.Journal.Stall_detected
-             {
-               key = stall.Chaos.stall_key;
-               rank = stall.Chaos.stall_rank;
-               threshold = stall.Chaos.stall_threshold;
-               value = stall.Chaos.stall_value;
-             });
-        raise (Chaos.Stall stall)
-      end;
-      (* Re-validate the remapped protocol before touching anything:
-         the rewritten program must still be statically complete. *)
-      let remapped = Fault.remap_program program ~dead ~survivors in
-      Analyzer.check_exn remapped;
-      (* Alias each rerouted key to the counter the blocked consumers
-         are already parked on, so force-signals and watchdog retries
-         under the new names land on the right counter. *)
-      let cpr = program.Program.pc_channels in
+      (match recovery with
+      | Some r -> r.Chaos.stalls <- r.Chaos.stalls @ [ stall ]
+      | None -> ());
+      journal_ev
+        (Obs.Journal.Stall_detected
+           {
+             key = stall.Chaos.stall_key;
+             rank = stall.Chaos.stall_rank;
+             threshold = stall.Chaos.stall_threshold;
+             value = stall.Chaos.stall_value;
+           });
+      raise (Chaos.Stall stall)
+    end;
+    (* Re-validate the remapped protocol before touching anything:
+       the rewritten program must still be statically complete. *)
+    let remapped = Fault.remap_program program ~dead ~survivors in
+    Analyzer.check_exn remapped;
+    (* Alias each rerouted key to the counter the blocked consumers
+       are already parked on, so force-signals and watchdog retries
+       under the new names land on the right counter. *)
+    let n = List.length survivors in
+    let sv = Array.of_list survivors in
+    for c = 0 to cpr - 1 do
+      let target = sv.(c mod n) in
+      let slot = next_slot.(target) in
+      next_slot.(target) <- slot + 1;
+      Channel.register_remap channels
+        ~key:(Printf.sprintf "pc[%d][%d]" dead c)
+        ~alias:(Printf.sprintf "pc[%d][%d]" target slot)
+    done;
+    (* The survivors re-host the dead shard: transfers touching it
+       succeed again, reading recovered memory. *)
+    Cluster.mark_recovered cluster ~rank_id:dead;
+    journal_ev (Obs.Journal.Remapped { rank = dead; tiles = List.length lost });
+    (match recovery with
+    | Some r ->
+      r.Chaos.remapped_tiles <- r.Chaos.remapped_tiles + List.length lost
+    | None -> ());
+    metrics_set "recovery.remapped_tiles" (float_of_int (List.length lost));
+    Queue.add (dead, t_crash) settling
+  in
+  let spawn_replays () =
+    let pending =
+      List.filter
+        (fun e ->
+          (not e.le_done)
+          && (not e.le_replaying)
+          && (Hashtbl.mem crashed_once e.le_rank || e.le_poisoned))
+        ledger
+    in
+    match (pending, survivors_now ()) with
+    | [], _ | _, [] -> ()
+    | pending, survivors ->
       let n = List.length survivors in
       let sv = Array.of_list survivors in
-      for c = 0 to cpr - 1 do
-        Channel.register_remap channels
-          ~key:(Printf.sprintf "pc[%d][%d]" dead c)
-          ~alias:(Printf.sprintf "pc[%d][%d]" sv.(c mod n) (cpr + (c / n)))
-      done;
-      (* The survivors re-host the dead shard: transfers touching it
-         succeed again, reading recovered memory. *)
-      Cluster.mark_recovered cluster ~rank_id:dead;
-      journal_ev (Obs.Journal.Remapped { rank = dead; tiles = List.length lost });
-      (match recovery with
-      | Some r ->
-        r.Chaos.remapped_tiles <- r.Chaos.remapped_tiles + List.length lost
-      | None -> ());
-      metrics_set "recovery.remapped_tiles"
-        (float_of_int (List.length lost));
-      (* Replay only the lost tiles, from a *fresh* build of the
-         program when the caller provides one: task closures can hold
-         accumulator state (flash-attention online softmax), so
-         re-running a partially executed closure would double-count. *)
+      (* Replay from a *fresh* build of the program when the caller
+         provides one: task closures can hold accumulator state
+         (flash-attention online softmax), so re-running a partially
+         executed closure would double-count. *)
       let source = match rebuild with Some f -> f () | None -> program in
       let fresh_task : (int * string * string, Program.task) Hashtbl.t =
         Hashtbl.create 64
@@ -784,8 +822,8 @@ let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) ?rebuild
           let key = (rank, role.Program.role_name, task.Program.label) in
           if not (Hashtbl.mem fresh_task key) then
             Hashtbl.replace fresh_task key task);
-      (* Group lost entries by (rank, role) preserving ledger order;
-         one replay process per group keeps intra-role task order. *)
+      (* Group by (rank, role) preserving ledger order; one replay
+         process per group keeps intra-role task order. *)
       let groups : ((int * string) * ledger_entry list) list =
         List.fold_left
           (fun acc e ->
@@ -796,85 +834,133 @@ let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) ?rebuild
               List.map
                 (fun (k, v) -> if k = key then (k, v @ [ e ]) else (k, v))
                 acc)
-          [] lost
+          [] pending
       in
-      let replayed = ref 0 in
+      (* Claim every entry inside the tick, before any replay runs, so
+         the next tick's sweep cannot spawn a duplicate replay. *)
+      List.iter (fun e -> e.le_replaying <- true) pending;
       let next_exec = ref 0 in
-      let replay_bodies =
-        List.map
-          (fun (((owner_rank : int), _role), entries) () ->
-            (* Each replay group is one sequential stream: its own
-               causal worker keeps replayed spans chained in order. *)
-            let worker =
-              if Obs.Telemetry.active telemetry then
-                Obs.Span.fresh_worker
-                  (Obs.Telemetry.spans (Option.get telemetry))
-              else -1
-            in
-            List.iter
-              (fun (e : ledger_entry) ->
-                match
-                  Hashtbl.find_opt fresh_task (e.le_rank, e.le_role, e.le_label)
-                with
-                | None -> ()
-                | Some task ->
-                  (* Round-robin the executing survivor per tile. *)
-                  let exec_rank = sv.(!next_exec mod n) in
-                  incr next_exec;
-                  let skip = ref e.le_notified in
-                  let ctx =
-                    {
-                      ec_exec_rank = exec_rank;
-                      ec_live = (fun () -> true);
-                      ec_force_copy = true;
-                      ec_on_notify = (fun () -> ());
-                    }
-                  in
-                  let pending_loads = ref [] in
-                  let comm_active = ref 0 in
-                  let exec =
-                    exec_instr cluster channels memory ~telemetry ~data
-                      ~rank:owner_rank ~ctx ~lane:Trace.Comm_sm ~worker_sms:1
-                      ~comm_active ~pending_loads ~worker
-                      ~label:(task.Program.label ^ "+replay")
-                  in
-                  List.iter
-                    (fun instr ->
-                      match instr with
-                      | Instr.Notify _ when !skip > 0 ->
-                        (* Checkpointed epoch: already delivered before
-                           the crash; re-issuing would overshoot the
-                           counter past epochs other waits rely on. *)
-                        decr skip
-                      | instr -> exec instr)
-                    task.Program.instrs;
-                  e.le_done <- true;
-                  incr replayed)
-              entries)
-          groups
-      in
-      let join = Process.spawn_all engine replay_bodies in
-      Process.Join.wait join;
-      let latency = Cluster.now cluster -. t_crash in
-      (match recovery with
-      | Some r ->
-        r.Chaos.failed_over <- r.Chaos.failed_over @ [ (dead, latency) ];
-        r.Chaos.replayed_tiles <- r.Chaos.replayed_tiles + !replayed
-      | None -> ());
-      metrics_set "recovery.replayed_tiles" (float_of_int !replayed);
-      metrics_observe "recovery.latency_us" latency;
-      journal_ev
-        (Obs.Journal.Resumed { rank = dead; replayed = !replayed; latency })
-    done
+      List.iter
+        (fun (((owner_rank : int), _role), entries) ->
+          Process.spawn engine (fun () ->
+              (* Each replay group is one sequential stream: its own
+                 causal worker keeps replayed spans chained in order. *)
+              let worker =
+                if Obs.Telemetry.active telemetry then
+                  Obs.Span.fresh_worker
+                    (Obs.Telemetry.spans (Option.get telemetry))
+                else -1
+              in
+              List.iter
+                (fun (e : ledger_entry) ->
+                  match
+                    Hashtbl.find_opt fresh_task
+                      (e.le_rank, e.le_role, e.le_label)
+                  with
+                  | None ->
+                    (* The rebuild lost this task: nothing to replay —
+                       release the claim and count it done so the crash
+                       can settle instead of wedging accounting. *)
+                    e.le_done <- true;
+                    e.le_replaying <- false
+                  | Some task -> (
+                    (* Round-robin the executing survivor per tile. *)
+                    let exec_rank = sv.(!next_exec mod n) in
+                    incr next_exec;
+                    let skip = ref e.le_notified in
+                    let ctx =
+                      {
+                        ec_exec_rank = exec_rank;
+                        (* A replay is only as alive as its executor: a
+                           survivor dying mid-replay must abandon, not
+                           plough on against a dead rank's resources. *)
+                        ec_live = live_for exec_rank;
+                        ec_force_copy = true;
+                        (* Checkpoint replayed notifies too, so a replay
+                           cut short by a second crash resumes past the
+                           epochs it already delivered. *)
+                        ec_on_notify =
+                          (fun () -> e.le_notified <- e.le_notified + 1);
+                      }
+                    in
+                    let pending_loads = ref [] in
+                    let comm_active = ref 0 in
+                    let exec =
+                      exec_instr cluster channels memory ~telemetry ~data
+                        ~rank:owner_rank ~ctx ~lane:Trace.Comm_sm ~worker_sms:1
+                        ~comm_active ~pending_loads ~worker
+                        ~label:(task.Program.label ^ "+replay")
+                    in
+                    match
+                      List.iter
+                        (fun instr ->
+                          match instr with
+                          | Instr.Notify _ when !skip > 0 ->
+                            (* Checkpointed epoch: already delivered
+                               before the crash; re-issuing would
+                               overshoot the counter past epochs other
+                               waits rely on. *)
+                            decr skip
+                          | instr -> exec instr)
+                        task.Program.instrs
+                    with
+                    | () ->
+                      e.le_done <- true;
+                      e.le_replaying <- false;
+                      incr replayed_total;
+                      (match recovery with
+                      | Some r ->
+                        r.Chaos.replayed_tiles <- r.Chaos.replayed_tiles + 1
+                      | None -> ())
+                    | exception Abandoned ->
+                      (* The executing survivor died mid-replay: poison
+                         and release the entry; the next sweep replays
+                         it on a remaining survivor. *)
+                      e.le_poisoned <- true;
+                      e.le_replaying <- false))
+                entries))
+        groups
   in
+  let settle () =
+    let rec go () =
+      match Queue.peek_opt settling with
+      | Some (dead, t_crash) when lost_entries ledger ~dead = [] ->
+        ignore (Queue.pop settling);
+        let latency = Cluster.now cluster -. t_crash in
+        let replayed = !replayed_total - !settled_replayed in
+        settled_replayed := !replayed_total;
+        (match recovery with
+        | Some r ->
+          r.Chaos.failed_over <- r.Chaos.failed_over @ [ (dead, latency) ]
+        | None -> ());
+        metrics_set "recovery.replayed_tiles" (float_of_int replayed);
+        metrics_observe "recovery.latency_us" latency;
+        journal_ev (Obs.Journal.Resumed { rank = dead; replayed; latency });
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let failover_hook () =
+    while not (Queue.is_empty pending_crashes) do
+      handle_crash (Queue.pop pending_crashes)
+    done;
+    spawn_replays ();
+    settle ()
+  in
+  (* Structural stall triage pauses while a crash is mid-recovery: the
+     never-sent signals it would trip on are the ones replay delivers. *)
+  let recovering () = not (Queue.is_empty settling) in
   (* The watchdog is just another sim process; while it lives, the
      event queue never drains, so a genuine hang surfaces as a
      structured Chaos.Stall rather than Engine.Deadlock. *)
   (match chaos with
   | Some ({ Chaos.c_watchdog = Some wd; _ } as control) ->
     let hooks = if failover_armed then Some failover_hook else None in
+    let quiesce = if failover_armed then Some recovering else None in
     Process.spawn engine
-      (Chaos.watchdog_body ?hooks ~engine ~channels ~telemetry ~control ~wd)
+      (Chaos.watchdog_body ?hooks ?quiesce ~engine ~channels ~telemetry
+         ~control ~wd)
   | _ -> ());
   (try Engine.run engine with
    | Engine.Deadlock msg ->

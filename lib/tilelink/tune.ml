@@ -50,10 +50,11 @@ type 'a attempt =
 (* Static analysis runs right after build — before the cache lookup —
    so a candidate with a broken protocol is rejected even when an old
    cache entry would happily replay its simulated time. *)
-let attempt ?analyze ~build ~evaluate (config, cached) =
-  match build config with
+let attempt ?analyze ~config_of ~build ~evaluate (item, cached) =
+  match build item with
   | exception Invalid_argument _ -> Failed_build
   | candidate -> (
+    let config = config_of item in
     let analysis =
       match analyze with
       | None -> Ok ()
@@ -72,51 +73,69 @@ let attempt ?analyze ~build ~evaluate (config, cached) =
         | time, exposed_comm_us ->
           Evaluated { candidate; config; time; exposed_comm_us })))
 
-(* Cache entries: the original schema was a bare number (the simulated
-   time); entries written since the causal profiler landed are objects
-   carrying the exposed-communication blame alongside.  Reads accept
-   both so a pre-existing cache file keeps hitting. *)
+(* Persistent cache entries are schema-versioned: the current shape is
+   {"v": 2, "time": t, "exposed_comm_us": x?}.  Two legacy shapes
+   predate the tag — bare numbers (pre-profiler) and untagged objects.
+   An untagged object that carries the full measurement migrates
+   losslessly; a bare number (no exposed-communication blame at all)
+   or an untagged object missing [exposed_comm_us] would silently skew
+   any scoring that weighs exposed communication — the planner's in
+   particular — so those are *invalidated* on load: treated as a miss,
+   re-evaluated, and rewritten under the current schema. *)
+let cache_schema_version = 2
+
 let cached_of_json json =
   let module Json = Tilelink_obs.Json in
-  match Json.to_float json with
-  | Some time -> Some (time, None)
-  | None ->
-    Option.map
-      (fun time ->
-        ( time,
-          Option.bind (Json.member "exposed_comm_us" json) Json.to_float ))
-      (Option.bind (Json.member "time" json) Json.to_float)
+  let time = Option.bind (Json.member "time" json) Json.to_float in
+  let exposed =
+    Option.bind (Json.member "exposed_comm_us" json) Json.to_float
+  in
+  match Option.bind (Json.member "v" json) Json.to_float with
+  | Some v when int_of_float v = cache_schema_version ->
+    Option.map (fun t -> (t, exposed)) time
+  | Some _ ->
+    (* A future (or corrupt) schema: never guess at its semantics. *)
+    None
+  | None -> (
+    match (time, exposed) with
+    | Some t, Some x -> Some (t, Some x)
+    | _ -> None)
 
 let cached_to_json e =
   let module Json = Tilelink_obs.Json in
   Json.Obj
-    (("time", Json.Num e.time)
+    (("v", Json.Num (float_of_int cache_schema_version))
+    :: ("time", Json.Num e.time)
     ::
     (match e.exposed_comm_us with
     | Some x -> [ ("exposed_comm_us", Json.Num x) ]
     | None -> []))
 
-(* The internal search: [evaluate] returns the simulated time plus the
-   optional exposed-communication measurement.  The public [search]
-   keeps its scalar evaluator and wraps. *)
-let search_gen ?pool ?cache ?cache_key ?analyze ~build ~evaluate configs =
+(* The internal search, generic over the searched item: [config_of]
+   projects the design-space point recorded in each evaluation (the
+   planner searches richer candidates that embed one), [evaluate]
+   returns the simulated time plus the optional exposed-communication
+   measurement.  The public [search] keeps its scalar evaluator and
+   wraps. *)
+let search_items ?pool ?cache ?cache_key ?analyze ~config_of ~build ~evaluate
+    items =
   let keyed =
     match (cache, cache_key) with
     | Some cache, Some key_of ->
       List.map
-        (fun config ->
-          let key = key_of config in
+        (fun item ->
+          let key = key_of item in
           let cached =
             Option.bind (Tilelink_exec.Cache.find cache key) cached_of_json
           in
-          (config, Some key, cached))
-        configs
-    | _ -> List.map (fun config -> (config, None, None)) configs
+          (item, Some key, cached))
+        items
+    | _ -> List.map (fun item -> (item, None, None)) items
   in
   let attempts =
     Tilelink_exec.Pool.map pool
-      (fun (config, _key, cached) ->
-        attempt ?analyze ~build ~evaluate (config, cached))
+      (fun (item, _key, cached) ->
+        attempt ?analyze ~config_of ~build ~evaluate (item, cached))
       keyed
     |> List.map Tilelink_exec.Pool.get
   in
@@ -177,9 +196,34 @@ let search_gen ?pool ?cache ?cache_key ?analyze ~build ~evaluate configs =
       }
 
 let search ?pool ?cache ?cache_key ?analyze ~build ~evaluate configs =
-  search_gen ?pool ?cache ?cache_key ?analyze ~build
+  search_items ?pool ?cache ?cache_key ?analyze ~config_of:Fun.id ~build
     ~evaluate:(fun candidate -> (evaluate candidate, None))
     configs
+
+(* The shared program evaluator: telemetry adds no simulated time, so
+   the makespan is the one the plain evaluator would report; the spans
+   additionally give each candidate its exposed-communication blame —
+   the why behind its rank in the sweep. *)
+let evaluate_program ~make_cluster program =
+  let cluster = make_cluster () in
+  let telemetry = Tilelink_obs.Telemetry.create () in
+  let r = Runtime.run ~telemetry cluster program in
+  let attribution =
+    Tilelink_obs.Attribution.of_spans ~makespan:r.Runtime.makespan
+      (Tilelink_obs.Span.spans (Tilelink_obs.Telemetry.spans telemetry))
+  in
+  ( r.Runtime.makespan,
+    Some
+      attribution.Tilelink_obs.Attribution.buckets
+        .Tilelink_obs.Attribution.exposed_comm )
+
+(* One probe cluster pins down the machine identity behind a cache
+   key; simulated clusters are single-shot, so it is discarded. *)
+let machine_fingerprint ~make_cluster =
+  let probe = make_cluster () in
+  Printf.sprintf "%s|world=%d"
+    (Tilelink_machine.Spec.fingerprint (Tilelink_machine.Cluster.spec probe))
+    (Tilelink_machine.Cluster.world_size probe)
 
 (* Convenience for program-valued candidates: simulate on a fresh
    cluster per candidate, built *inside* the evaluating task so every
@@ -191,14 +235,7 @@ let search_programs ?pool ?cache ?(workload = "program") ?(analyze = true)
     match cache with
     | None -> None
     | Some _ ->
-      (* One probe cluster pins down the machine identity behind the
-         key; simulated clusters are single-shot, so it is discarded. *)
-      let probe = make_cluster () in
-      let machine =
-        Printf.sprintf "%s|world=%d"
-          (Tilelink_machine.Spec.fingerprint (Tilelink_machine.Cluster.spec probe))
-          (Tilelink_machine.Cluster.world_size probe)
-      in
+      let machine = machine_fingerprint ~make_cluster in
       Some
         (fun config ->
           Tilelink_exec.Cache.fingerprint
@@ -208,21 +245,35 @@ let search_programs ?pool ?cache ?(workload = "program") ?(analyze = true)
   let analyze =
     if analyze then Some Analyzer.check_message else None
   in
-  search_gen ?pool ?cache ?cache_key ?analyze ~build
-    ~evaluate:(fun program ->
-      (* Telemetry adds no simulated time, so the makespan is the one
-         the plain evaluator would report; the spans additionally give
-         each candidate its exposed-communication blame — the why
-         behind its rank in the sweep. *)
-      let cluster = make_cluster () in
-      let telemetry = Tilelink_obs.Telemetry.create () in
-      let r = Runtime.run ~telemetry cluster program in
-      let attribution =
-        Tilelink_obs.Attribution.of_spans ~makespan:r.Runtime.makespan
-          (Tilelink_obs.Span.spans (Tilelink_obs.Telemetry.spans telemetry))
-      in
-      ( r.Runtime.makespan,
-        Some
-          attribution.Tilelink_obs.Attribution.buckets
-            .Tilelink_obs.Attribution.exposed_comm ))
-    configs
+  search_items ?pool ?cache ?cache_key ?analyze ~config_of:Fun.id ~build
+    ~evaluate:(evaluate_program ~make_cluster) configs
+
+(* Planner entry point: candidates are arbitrary schedule descriptions
+   that embed a design-space point ([config_of]) and synthesize to a
+   program ([build]); [fingerprint] must cover every candidate axis
+   beyond the embedded config (transfer mode, chunking, ...) so the
+   cache never conflates two schedules.  Results pair the winning
+   candidate with its synthesized program, because the caller needs
+   both: the candidate to describe the schedule, the program to emit
+   or execute it. *)
+let search_planned ?pool ?cache ?(workload = "planned") ?(analyze = true)
+    ~fingerprint ~config_of ~build ~make_cluster candidates =
+  let cache_key =
+    match cache with
+    | None -> None
+    | Some _ ->
+      let machine = machine_fingerprint ~make_cluster in
+      Some
+        (fun candidate ->
+          Tilelink_exec.Cache.fingerprint
+            (String.concat "|" [ workload; machine; fingerprint candidate ]))
+  in
+  let analyze =
+    if analyze then
+      Some (fun ((_, program) : _ * Program.t) -> Analyzer.check_message program)
+    else None
+  in
+  search_items ?pool ?cache ?cache_key ?analyze ~config_of
+    ~build:(fun candidate -> (candidate, build candidate))
+    ~evaluate:(fun (_, program) -> evaluate_program ~make_cluster program)
+    candidates

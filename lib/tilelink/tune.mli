@@ -64,3 +64,31 @@ val search_programs :
     [analyze] (default [true]) pre-flights every built program through
     {!Analyzer.check_message}; statically-broken candidates count as
     [skipped_race]. *)
+
+val search_planned :
+  ?pool:Tilelink_exec.Pool.t ->
+  ?cache:Tilelink_exec.Cache.t ->
+  ?workload:string ->
+  ?analyze:bool ->
+  fingerprint:('c -> string) ->
+  config_of:('c -> Design_space.config) ->
+  build:('c -> Program.t) ->
+  make_cluster:(unit -> Tilelink_machine.Cluster.t) ->
+  'c list ->
+  ('c * Program.t) outcome option
+(** The planner's entry point: candidates of an arbitrary type that
+    embed a design-space point ([config_of], recorded in each
+    evaluation) and synthesize to a program ([build]).  [fingerprint]
+    must cover every candidate axis beyond the embedded config
+    (transfer mode, chunk count, ...) so cache keys never conflate two
+    schedules; [workload] must identify the operator graph and shape.
+    Evaluations pair the candidate with its synthesized program.
+    [analyze] (default [true]) pre-flights every synthesized program —
+    no planner-derived protocol is ever scored unchecked. *)
+
+val cache_schema_version : int
+(** Version tag written into persistent cache entries.  Loads accept
+    the current version, migrate untagged legacy objects that carry
+    the full measurement, and invalidate anything else (bare-number
+    entries in particular) so stale shapes re-evaluate instead of
+    silently skewing exposed-communication scoring. *)

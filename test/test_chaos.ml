@@ -288,6 +288,134 @@ let test_crash_free_summary_unchanged () =
     (contains "failover_latency_us");
   Alcotest.(check bool) "no total_tiles key" false (contains "total_tiles")
 
+(* A second crash landing squarely mid-replay of the first: the
+   re-entrant coordinator must detect it on a later watchdog tick,
+   re-enter failover (remapping on top of the first remap without
+   reusing alias slots), and finish the run with bit-identical
+   numerics.  The historical failure mode was the coordinator wedging
+   in its replay join and the run dying as Engine.Deadlock — which
+   lib/serve/batcher.ml then had to accept as an outcome. *)
+let test_second_crash_mid_replay () =
+  let spec = { Mlp.m = 16; k = 4; n = 6; world_size = 4 } in
+  let config =
+    {
+      Design_space.comm_tile = (2, 128);
+      compute_tile = (2, 2);
+      comm_order = Tile.Ring_from_self { segments = 4 };
+      compute_order = Tile.Ring_from_self { segments = 4 };
+      binding = Design_space.Comm_on_sm 1;
+      stages = 2;
+      micro_block = 0;
+    }
+  in
+  let build () =
+    Mlp.ag_gemm_program ~config spec ~spec_gpu:Calib.test_machine
+  in
+  let ideal =
+    let cluster = Cluster.create Calib.test_machine ~world_size:4 in
+    (Runtime.run cluster (build ())).Runtime.makespan
+  in
+  (* First crash at 30% of the fault-free makespan; the watchdog ticks
+     every ideal/50, so replay of the first crash starts within one
+     tick — the second crash 2.5 ticks later is guaranteed to land
+     while that replay is still in flight (it spans many ticks). *)
+  let poll = ideal /. 50.0 in
+  let t1 = 0.3 *. ideal in
+  let t2 = t1 +. (2.5 *. poll) in
+  let quiet =
+    {
+      (Chaos.no_machine_faults Chaos.default_spec) with
+      Chaos.drop_prob = 0.0;
+      duplicate_prob = 0.0;
+      delay_prob = 0.0;
+    }
+  in
+  let schedule =
+    Chaos.with_crashes
+      (Chaos.plan ~spec:quiet ~horizon_us:(2.0 *. ideal) ~seed:7
+         ~world_size:4 ())
+      [
+        (0, { Chaos.cr_at = t1; cr_until = None });
+        (1, { Chaos.cr_at = t2; cr_until = None });
+      ]
+  in
+  let watchdog =
+    {
+      Chaos.poll_interval_us = poll;
+      wait_timeout_us = 2.0 *. ideal;
+      stall_timeout_us = 8.0 *. ideal;
+      max_retries = 5;
+      backoff_base_us = ideal /. 10.0;
+      retry = true;
+      policy = Chaos.Failover;
+    }
+  in
+  let control = Chaos.control ~schedule ~watchdog () in
+  let memory = Mlp.ag_gemm_alloc spec ~seed:11 in
+  let cluster = Cluster.create Calib.test_machine ~world_size:4 in
+  let telemetry = Harness.Obs.Telemetry.create () in
+  let result =
+    Runtime.run ~telemetry ~data:true ~memory ~chaos:control ~rebuild:build
+      cluster (build ())
+  in
+  Alcotest.(check bool) "run outlives the fault-free makespan" true
+    (result.Runtime.makespan > ideal);
+  let rec_ = control.Chaos.c_recovery in
+  Alcotest.(check int) "both crashes failed over"
+    2
+    (List.length rec_.Chaos.failed_over);
+  Alcotest.(check bool) "recovery latencies positive" true
+    (List.for_all (fun (_, l) -> l > 0.0) rec_.Chaos.failed_over);
+  Alcotest.(check bool) "tiles were replayed" true
+    (rec_.Chaos.replayed_tiles > 0);
+  Alcotest.(check (list int)) "no structural stalls" []
+    (List.map (fun s -> s.Chaos.stall_owner) rec_.Chaos.stalls);
+  (* The journal must prove the scenario: the second crash recorded
+     after the first remap and before the first resume — i.e. truly
+     mid-replay, not merely after it. *)
+  let events =
+    List.map
+      (fun (e : Harness.Obs.Journal.entry) -> e.Harness.Obs.Journal.event)
+      (Harness.Obs.Journal.entries (Harness.Obs.Telemetry.journal telemetry))
+  in
+  let index_of p =
+    let rec go i = function
+      | [] -> Alcotest.fail "expected journal event missing"
+      | e :: rest -> if p e then i else go (i + 1) rest
+    in
+    go 0 events
+  in
+  let remap0 =
+    index_of (function
+      | Harness.Obs.Journal.Remapped { rank = 0; _ } -> true
+      | _ -> false)
+  in
+  let crash1 =
+    index_of (function
+      | Harness.Obs.Journal.Rank_crashed { rank = 1; _ } -> true
+      | _ -> false)
+  in
+  let resume0 =
+    index_of (function
+      | Harness.Obs.Journal.Resumed { rank = 0; _ } -> true
+      | _ -> false)
+  in
+  Alcotest.(check bool) "second crash lands after the first remap" true
+    (crash1 > remap0);
+  Alcotest.(check bool) "second crash lands before the first resume" true
+    (crash1 < resume0);
+  (* And the data must still be exactly right on every rank, the two
+     dead ones (reconstructed by replay) included. *)
+  List.iter
+    (fun rank ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rank %d numerics intact" rank)
+        true
+        (Check.close
+           (Mlp.ag_gemm_reference memory spec ~rank)
+           (Memory.find memory ~rank ~name:"y")))
+    [ 0; 1; 2; 3 ]
+
 (* ------------------------------------------------------------------ *)
 (* Summary determinism                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -480,6 +608,8 @@ let () =
             (test_failover_recovers Harness.Attention_ag);
           Alcotest.test_case "no survivors: structural stall" `Quick
             test_no_survivors_structural_stall;
+          Alcotest.test_case "second crash mid-replay re-enters failover"
+            `Quick test_second_crash_mid_replay;
           Alcotest.test_case "stalled trial does not leak state" `Quick
             test_stalled_trial_does_not_leak;
           qc prop_crash_summary_deterministic;

@@ -210,6 +210,143 @@ let test_second_run_served_from_cache () =
     (evaluations warm = evaluations cold)
 
 (* ------------------------------------------------------------------ *)
+(* Cache schema versioning: mixed legacy / current entry shapes        *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny search (seconds of simulated time, four candidates) whose
+   cache keys we can reconstruct, so individual entries can be
+   rewritten into legacy shapes between runs. *)
+let schema_shapes = { Mlp.m = 16; k = 4; n = 6; world_size = 4 }
+
+let schema_config ~stages ~compute_tile =
+  let ring = Tile.Ring_from_self { segments = 4 } in
+  {
+    Design_space.comm_tile = (2, 128);
+    compute_tile;
+    comm_order = ring;
+    compute_order = ring;
+    binding = Design_space.Comm_on_sm 1;
+    stages;
+    micro_block = 0;
+  }
+
+let schema_configs =
+  [
+    schema_config ~stages:1 ~compute_tile:(2, 2);
+    schema_config ~stages:2 ~compute_tile:(2, 2);
+    schema_config ~stages:1 ~compute_tile:(2, 3);
+    schema_config ~stages:2 ~compute_tile:(2, 3);
+  ]
+
+let schema_search ~cache () =
+  match
+    Tune.search_programs ~cache ~workload:"test:schema-mlp"
+      ~build:(fun config ->
+        Mlp.ag_gemm_program ~config schema_shapes ~spec_gpu:Calib.test_machine)
+      ~make_cluster:(fun () ->
+        Cluster.create Calib.test_machine ~world_size:4)
+      schema_configs
+  with
+  | Some o -> o
+  | None -> Alcotest.fail "schema search built no candidate"
+
+(* The exact key construction Tune.search_programs uses. *)
+let schema_key config =
+  let machine =
+    Printf.sprintf "%s|world=%d" (Spec.fingerprint Calib.test_machine) 4
+  in
+  Cache.fingerprint
+    (String.concat "|"
+       [ "test:schema-mlp"; machine; Design_space.fingerprint config ])
+
+let schema_tag_of key cache =
+  match Cache.find cache key with
+  | None -> Alcotest.fail "cache entry missing"
+  | Some row -> (
+    match Json.member "v" row with
+    | Some (Json.Num v) -> Some (int_of_float v)
+    | _ -> None)
+
+let test_cache_schema_versioning () =
+  let cache = Cache.create () in
+  let cold = schema_search ~cache () in
+  Alcotest.(check int) "cold run misses all four" 4 cold.Tune.cache_misses;
+  (* Fresh evaluations land under the current schema, with the
+     exposed-communication measurement attached. *)
+  List.iter
+    (fun config ->
+      Alcotest.(check (option int))
+        "fresh entry tagged with the current schema"
+        (Some Tune.cache_schema_version)
+        (schema_tag_of (schema_key config) cache))
+    schema_configs;
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "evaluation carries exposed_comm_us" true
+        (e.Tune.exposed_comm_us <> None))
+    cold.Tune.evaluated;
+  let measured config =
+    List.find (fun e -> e.Tune.config = config) cold.Tune.evaluated
+  in
+  (* Rewrite the stored entries into a mix of legacy and current
+     shapes: c0 as a pre-profiler bare number, c1 as an untagged object
+     missing the exposed-communication field — both must invalidate —
+     c2 as an untagged object carrying the full measurement (lossless
+     migration) and c3 untouched under the current schema. *)
+  let c0, c1, c2, c3 =
+    match schema_configs with
+    | [ a; b; c; d ] -> (a, b, c, d)
+    | _ -> assert false
+  in
+  let mixed_cache = Cache.create () in
+  Cache.add mixed_cache (schema_key c0) (Json.Num (measured c0).Tune.time);
+  Cache.add mixed_cache (schema_key c1)
+    (Json.Obj [ ("time", Json.Num (measured c1).Tune.time) ]);
+  Cache.add mixed_cache (schema_key c2)
+    (Json.Obj
+       [
+         ("time", Json.Num (measured c2).Tune.time);
+         ( "exposed_comm_us",
+           Json.Num (Option.get (measured c2).Tune.exposed_comm_us) );
+       ]);
+  (match Cache.find cache (schema_key c3) with
+  | Some row -> Cache.add mixed_cache (schema_key c3) row
+  | None -> Alcotest.fail "current-schema entry missing");
+  let warm = schema_search ~cache:mixed_cache () in
+  Alcotest.(check int) "legacy shapes invalidated" 2 warm.Tune.cache_misses;
+  Alcotest.(check int) "migratable + current shapes hit" 2
+    warm.Tune.cache_hits;
+  (* Invalidation is invisible in the results: same winner, same
+     per-candidate measurements — the deterministic simulator
+     reproduces what the dropped entries stored. *)
+  Alcotest.(check bool) "winner unchanged" true
+    (warm.Tune.best.Tune.config = cold.Tune.best.Tune.config);
+  Alcotest.(check bool) "evaluated set identical" true
+    (evaluations warm = evaluations cold);
+  (* The invalidated keys are rewritten under the current schema. *)
+  List.iter
+    (fun config ->
+      Alcotest.(check (option int))
+        "re-evaluated entry rewritten with the schema tag"
+        (Some Tune.cache_schema_version)
+        (schema_tag_of (schema_key config) mixed_cache))
+    [ c0; c1 ];
+  (* A cache entry tagged with a future schema version is never
+     trusted, even if its fields look plausible. *)
+  let future_cache = Cache.create () in
+  Cache.add future_cache (schema_key c0)
+    (Json.Obj
+       [
+         ( "v",
+           Json.Num (float_of_int (Tune.cache_schema_version + 1)) );
+         ("time", Json.Num 1.0);
+         ("exposed_comm_us", Json.Num 0.5);
+       ]);
+  let refetched = schema_search ~cache:future_cache () in
+  Alcotest.(check int) "future schema version is a miss" 4
+    refetched.Tune.cache_misses
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "tilelink_exec"
@@ -233,6 +370,8 @@ let () =
             test_cache_ignores_corrupt_file;
           Alcotest.test_case "concurrent access" `Quick
             test_cache_concurrent_access;
+          Alcotest.test_case "schema versioning" `Quick
+            test_cache_schema_versioning;
         ] );
       ( "tune",
         [

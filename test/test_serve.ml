@@ -77,6 +77,39 @@ let test_trace_parse () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "empty trace accepted"
 
+(* Replay files written on other platforms: CRLF line endings, a UTF-8
+   BOM, bare-CR endings, trailing blank lines — all must parse to the
+   same requests as the plain-LF file, and error messages must keep
+   pointing at the line number the user's editor shows. *)
+let test_trace_parse_line_endings () =
+  let reference =
+    match Trace_gen.parse_trace "# comment\n10.5,64,4\n0.0,32,2\n" with
+    | Ok reqs -> reqs
+    | Error e -> Alcotest.failf "LF reference failed: %s" e
+  in
+  let same name text =
+    match Trace_gen.parse_trace text with
+    | Ok reqs ->
+      Alcotest.(check bool) (name ^ " parses identically") true
+        (reqs = reference)
+    | Error e -> Alcotest.failf "%s failed: %s" name e
+  in
+  same "CRLF" "# comment\r\n10.5,64,4\r\n0.0,32,2\r\n";
+  same "CRLF + trailing blanks" "# comment\r\n10.5,64,4\r\n0.0,32,2\r\n\r\n\r\n";
+  same "bare CR" "# comment\r10.5,64,4\r0.0,32,2\r";
+  same "UTF-8 BOM + CRLF" "\xef\xbb\xbf# comment\r\n10.5,64,4\r\n0.0,32,2\r\n";
+  (* A BOM on the first data line must not corrupt the first field. *)
+  same "UTF-8 BOM, no comment"
+    "\xef\xbb\xbf10.5,64,4\r\n0.0,32,2\r\n";
+  (* Error line numbers count CRLF lines exactly like LF lines. *)
+  match Trace_gen.parse_trace "# c\r\n1.0,8,2\r\nbogus\r\n" with
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error names CRLF line 3 (%s)" msg)
+      true
+      (String.length msg >= 12 && String.sub msg 0 12 = "trace line 3")
+  | Ok _ -> Alcotest.fail "bogus CRLF line accepted"
+
 (* ------------------------------------------------------------------ *)
 (* Admission queue                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -286,6 +319,8 @@ let () =
           Alcotest.test_case "seeded determinism" `Quick test_trace_determinism;
           QCheck_alcotest.to_alcotest qcheck_trace_shape;
           Alcotest.test_case "csv parse" `Quick test_trace_parse;
+          Alcotest.test_case "csv line endings" `Quick
+            test_trace_parse_line_endings;
         ] );
       ( "admission",
         [
