@@ -959,6 +959,7 @@ let bench_json_serving () =
   let config ~chaos =
     {
       Serve.Server.machine = spec;
+      topology = None;
       world_size = world;
       head_dim = 64;
       slo;
@@ -1044,6 +1045,84 @@ let bench_json_serving () =
               ]);
       })
     scenarios
+
+(* Topology suite: the chaos harness's MLP workload run once per
+   shipped topology preset, each trial forcing one rank crash — plus a
+   whole-island crash on the two-island shape, the case where every
+   replayed tile must cross the NIC bridge.  The schema-checked fields
+   keep their usual meaning; the topology outcome — p99 recovery
+   latency, overlap efficiency, cross-island replay count, node count
+   — rides along and is gated suite-specifically.  The T3 and
+   non-overlapped analytic baselines for the same scaled ag-gemm shape
+   bracket the simulated runtime from both sides. *)
+let bench_json_topology () =
+  let module Harness = Tilelink_chaos.Harness in
+  let trials = 2 and seed = 42 in
+  let workload = Harness.Mlp_ag_gemm in
+  let configs =
+    List.map (fun topo -> (Topology.name topo, topo, 1)) Topology.all
+    @ [
+        ( "islands2x8/island",
+          Topology.islands2x8,
+          Topology.ranks_per_island Topology.islands2x8 );
+      ]
+  in
+  List.map
+    (fun (config_name, topo, crash_ranks) ->
+      {
+        descr =
+          Printf.sprintf "bench-v1|topology|%s|crash=%d,trials=%d,seed=%d|%s"
+            config_name crash_ranks trials seed machine_id;
+        compute =
+          (fun () ->
+            let s =
+              Harness.run_trials ~crash_ranks ~topology:topo ~workload ~seed
+                ~trials ()
+            in
+            let mean f =
+              Tilelink_sim.Stats.mean (List.map f s.Harness.s_trials)
+            in
+            let fo = List.sort compare s.Harness.s_failover_latencies in
+            let tw = Topology.natural_world topo in
+            let tm = Calib.test_machine in
+            let clamp01 x = Float.min 1.0 (Float.max 0.0 x) in
+            Obs.Json.Obj
+              [
+                ("config", Obs.Json.Str config_name);
+                ("kernel", Obs.Json.Str "mlp_ag_gemm");
+                ("makespan_us", Obs.Json.Num (mean (fun t -> t.Harness.total_us)));
+                ( "overlap_ratio",
+                  Obs.Json.Num
+                    (clamp01 (mean (fun t -> t.Harness.achieved_overlap))) );
+                ( "overlap_efficiency",
+                  Obs.Json.Num (clamp01 s.Harness.s_overlap_efficiency) );
+                ( "failed_over",
+                  Obs.Json.Num (float_of_int s.Harness.s_failed_over) );
+                ( "recovery_p99_us",
+                  if fo = [] then Obs.Json.Null
+                  else Obs.Json.Num (Tilelink_sim.Stats.percentile 99.0 fo) );
+                ( "replayed_tiles",
+                  Obs.Json.Num
+                    (float_of_int
+                       (List.fold_left
+                          (fun acc t -> acc + t.Harness.replayed_tiles)
+                          0 s.Harness.s_trials)) );
+                ( "cross_island_replays",
+                  Obs.Json.Num (float_of_int s.Harness.s_cross_island_replays)
+                );
+                ("nodes", Obs.Json.Num (float_of_int (Topology.num_islands topo)));
+                ("world", Obs.Json.Num (float_of_int tw));
+                ( "t3_us",
+                  Obs.Json.Num
+                    (T3.ag_gemm_time tm ~world_size:tw ~m:(4 * tw) ~k:4 ~n:6)
+                );
+                ( "nonoverlap_us",
+                  Obs.Json.Num
+                    (Nonoverlap.ag_gemm_time tm ~world_size:tw ~m:(4 * tw) ~k:4
+                       ~n:6) );
+              ]);
+      })
+    configs
 
 (* Kernel microbenchmarks: the gemm variants (bounds-checked naive,
    micro-optimized i-k-j, cache-blocked at several block edges) timed
@@ -1416,6 +1495,7 @@ let json_suites =
     ("moe", bench_json_moe);
     ("smoke", bench_json_smoke);
     ("chaos", bench_json_chaos);
+    ("topology", bench_json_topology);
     ("serving", bench_json_serving);
     ("kernels", bench_json_kernels);
     ("parallel", bench_json_parallel);
@@ -1557,6 +1637,41 @@ let check_bench_json path =
      if !compared = 0 then fail "planner: no hand-written comparison rows";
      if !novel = 0 then fail "planner: no novel-graph rows"
    end);
+  if suite = "topology" then begin
+    (* Fault-domain gate: every topology row must carry a sane node /
+       world layout and a [0,1] overlap efficiency; rows that forced a
+       crash must report a recovery p99; the whole-island crash on a
+       bridged shape must replay across the NIC (cross-island count
+       strictly positive); the analytic baselines must bracket sanely
+       (T3's overlapped estimate at or below fully-serialized). *)
+    let island_crash_rows = ref 0 in
+    List.iter
+      (fun row ->
+        let nodes = num_field row "nodes" in
+        let world_sz = num_field row "world" in
+        if nodes < 1.0 then fail "topology: node count below 1";
+        if world_sz < 2.0 then fail "topology: world below 2";
+        let eff = num_field row "overlap_efficiency" in
+        if eff < 0.0 || eff > 1.0 then
+          fail "topology: overlap_efficiency outside [0, 1]";
+        if num_field row "cross_island_replays" < 0.0 then
+          fail "topology: negative cross_island_replays";
+        if num_field row "failed_over" > 0.0 then begin
+          match Obs.Json.member "recovery_p99_us" row with
+          | Some (Obs.Json.Num p) when Float.is_finite p && p >= 0.0 -> ()
+          | _ -> fail "topology: failed-over row without recovery_p99_us"
+        end;
+        if num_field row "t3_us" > num_field row "nonoverlap_us" then
+          fail "topology: T3 overlapped estimate above serialized baseline";
+        let cfg = str_field row "config" in
+        if cfg = "islands2x8/island" then begin
+          incr island_crash_rows;
+          if num_field row "cross_island_replays" <= 0.0 then
+            fail "topology: island-wide crash produced no cross-island replays"
+        end)
+      rows;
+    if !island_crash_rows = 0 then fail "topology: no whole-island crash row"
+  end;
   if suite = "parallel" then
     List.iter
       (fun row ->

@@ -79,6 +79,29 @@ let kernel_arg =
 
 let spec = Calib.h800
 
+(* Declarative topology presets; a bad value renders the full list and
+   exits through the CLI-error path (mapped to exit 2 in main). *)
+let topology_conv =
+  let parse s =
+    match Topology.of_string s with
+    | Ok t -> Ok t
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf t = Fmt.string ppf (Topology.name t) in
+  Arg.conv (parse, print)
+
+let topology_arg =
+  Arg.(
+    value
+    & opt (some topology_conv) None
+    & info [ "topology" ]
+        ~docv:(String.concat "|" (Topology.names ()))
+        ~doc:
+          "Run on a declarative cluster topology (NVLink islands bridged by \
+           NICs, heterogeneous rank scales, co-tenant NIC tax); the world \
+           size becomes the topology's natural world and workload shapes \
+           scale with it.")
+
 let config ~world ~binding ~comm_tile ~compute_tile ~stages ~ring =
   {
     Design_space.comm_tile = (comm_tile, 128);
@@ -502,10 +525,22 @@ let resolve_backend backend domains =
   | `Sequential -> `Sequential
   | `Parallel -> `Parallel domains
 
-let validate kernel backend domains =
+let validate kernel backend domains topology =
   let backend = resolve_backend backend domains in
-  let world = 4 in
+  (* A topology fixes the world to its natural size; shapes scale with
+     it so every rank keeps the same per-rank tile volume as the flat
+     world-4 case. *)
+  let world =
+    match topology with
+    | Some topo -> Topology.natural_world topo
+    | None -> 4
+  in
   let machine = Calib.test_machine in
+  (match topology with
+  | Some topo -> Printf.printf "topology: %s\n" (Topology.describe topo)
+  | None -> ());
+  let mk_cluster () = Cluster.create ?topology machine ~world_size:world in
+  let ranks = List.init world Fun.id in
   let failed = ref false in
   let check name ok =
     Printf.printf "%-28s %s\n" name (if ok then "ok" else "MISMATCH");
@@ -513,25 +548,28 @@ let validate kernel backend domains =
   in
   (match kernel with
   | `Ag_gemm ->
-    let shapes = { Mlp.m = 16; k = 4; n = 6; world_size = world } in
+    let shapes = { Mlp.m = 4 * world; k = 4; n = 6; world_size = world } in
     let cfg =
       config ~world ~binding:(Design_space.Comm_on_sm 1) ~comm_tile:2
         ~compute_tile:2 ~stages:2 ~ring:true
     in
     let memory = Mlp.ag_gemm_alloc shapes ~seed:1 in
-    let cluster = Cluster.create machine ~world_size:world in
+    let cluster = mk_cluster () in
     ignore
       (Runtime.run ~data:true ~memory ~backend cluster
          (Mlp.ag_gemm_program ~config:cfg shapes ~spec_gpu:machine));
-    check "ag-gemm (4 ranks)"
+    check
+      (Printf.sprintf "ag-gemm (%d ranks)" world)
       (List.for_all
          (fun rank ->
            Tilelink_tensor.Check.close
              (Mlp.ag_gemm_reference memory shapes ~rank)
              (Memory.find memory ~rank ~name:"y"))
-         [ 0; 1; 2; 3 ])
+         ranks)
   | `Gemm_rs ->
-    let shapes = { Mlp.rs_m = 16; rs_k = 3; rs_n = 4; rs_world = world } in
+    let shapes =
+      { Mlp.rs_m = 4 * world; rs_k = 3; rs_n = 4; rs_world = world }
+    in
     let cfg =
       {
         Design_space.comm_tile = (2, 2);
@@ -544,31 +582,32 @@ let validate kernel backend domains =
       }
     in
     let memory = Mlp.gemm_rs_alloc shapes ~seed:2 in
-    let cluster = Cluster.create machine ~world_size:world in
+    let cluster = mk_cluster () in
     ignore
       (Runtime.run ~data:true ~memory ~backend cluster
          (Mlp.gemm_rs_program ~config:cfg shapes ~spec_gpu:machine));
-    check "gemm-rs (4 ranks)"
+    check
+      (Printf.sprintf "gemm-rs (%d ranks)" world)
       (List.for_all
          (fun rank ->
            Tilelink_tensor.Check.close
              (Mlp.gemm_rs_reference memory shapes ~rank)
              (Memory.find memory ~rank ~name:"out"))
-         [ 0; 1; 2; 3 ])
+         ranks)
   | `Moe ->
     let moe =
       {
-        Moe.tokens = 16;
+        Moe.tokens = 4 * world;
         hidden = 4;
-        intermediate = 8;
-        experts = 4;
+        intermediate = 2 * world;
+        experts = world;
         topk = 2;
         world_size = world;
       }
     in
     let route = Moe.routing moe ~seed:3 in
     let memory = Moe.part2_alloc moe ~seed:4 in
-    let cluster = Cluster.create machine ~world_size:world in
+    let cluster = mk_cluster () in
     ignore
       (Runtime.run ~data:true ~memory ~backend cluster
          (Moe.part2_program moe route ~spec_gpu:machine
@@ -580,13 +619,14 @@ let validate kernel backend domains =
                 reduce_sms = 1;
                 rs_sms = 1;
               }));
-    check "moe part2 (4 ranks)"
+    check
+      (Printf.sprintf "moe part2 (%d ranks)" world)
       (List.for_all
          (fun rank ->
            Tilelink_tensor.Check.close ~atol:1e-8
              (Moe.part2_reference memory moe route ~rank)
              (Memory.find memory ~rank ~name:"out"))
-         [ 0; 1; 2; 3 ]));
+         ranks));
   if !failed then exit 1
 
 let validate_cmd =
@@ -594,8 +634,9 @@ let validate_cmd =
     (Cmd.info "validate"
        ~doc:
          "Run a kernel with real data and compare to the reference, on \
-          either execution backend (--backend parallel --domains N).")
-    Term.(const validate $ kernel_arg $ backend_arg $ domains_arg)
+          either execution backend (--backend parallel --domains N) and \
+          optionally on a declarative topology (--topology).")
+    Term.(const validate $ kernel_arg $ backend_arg $ domains_arg $ topology_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sanity                                                              *)
@@ -1191,8 +1232,8 @@ let profile_cmd =
 
 module Harness = Tilelink_chaos.Harness
 
-let chaos_run seed trials workload jobs no_retry policy crash_ranks out
-    perfetto_path check =
+let chaos_run seed trials workload jobs no_retry policy crash_ranks topology
+    out perfetto_path check =
   let retry = not no_retry in
   (* Crashes are only recoverable under Failover; upgrade the default
      policy so `--crash-ranks 1` alone does the expected thing. *)
@@ -1207,11 +1248,14 @@ let chaos_run seed trials workload jobs no_retry policy crash_ranks out
     else None
   in
   let run () =
-    Harness.run_trials ?pool ~retry ~policy ~crash_ranks ~workload ~seed
-      ~trials ()
+    Harness.run_trials ?pool ~retry ~policy ~crash_ranks ?topology ~workload
+      ~seed ~trials ()
   in
   let summary = run () in
   let json = Harness.summary_to_string summary in
+  (match topology with
+  | Some topo -> Printf.printf "topology: %s\n" (Topology.describe topo)
+  | None -> ());
   Printf.printf
     "chaos %s seed %d: %d trials — %d clean, %d recovered, %s%d degraded, %d \
      stalled\n"
@@ -1233,6 +1277,9 @@ let chaos_run seed trials workload jobs no_retry policy crash_ranks out
      Printf.printf
        "failover latency: %d crashes, p50 %.1f us, p95 %.1f us, p99 %.1f us\n"
        (List.length fo_latencies) (pct 50.0) (pct 95.0) (pct 99.0));
+  if summary.Harness.s_cross_island_replays > 0 then
+    Printf.printf "cross-island replays: %d\n"
+      summary.Harness.s_cross_island_replays;
   List.iter
     (fun t ->
       Printf.printf "  trial %d: %-9s overlap %.2f ideal %.1f us total %.1f \
@@ -1275,8 +1322,8 @@ let chaos_run seed trials workload jobs no_retry policy crash_ranks out
   (match perfetto_path with
   | Some path ->
     let _trial, trace, telemetry =
-      Harness.profile_trial ~retry ~policy ~crash_ranks ~workload ~seed
-        ~index:0 ()
+      Harness.profile_trial ~retry ~policy ~crash_ranks ?topology ~workload
+        ~seed ~index:0 ()
     in
     write_file path
       (Obs.Perfetto.export_string ~trace
@@ -1379,8 +1426,8 @@ let chaos_cmd =
           clean, recovered, failed over, degraded, or stalled.")
     Term.(
       const chaos_run $ seed_arg $ trials_arg $ workload_arg $ jobs_arg
-      $ no_retry_arg $ policy_arg $ crash_ranks_arg $ out_arg $ perfetto_arg
-      $ check_arg)
+      $ no_retry_arg $ policy_arg $ crash_ranks_arg $ topology_arg $ out_arg
+      $ perfetto_arg $ check_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -1395,7 +1442,13 @@ module Serve = Tilelink_serve
    report. *)
 let serve_run trace_kind rate burst requests seed prompt_mean decode_mean
     world head_dim slo_ttft slo_tpot queue_capacity max_batch kv_capacity
-    timeout_us chaos_seed crash_ranks out perfetto_path check =
+    timeout_us chaos_seed crash_ranks topology out perfetto_path check =
+  (* A topology fixes the world: its natural size, not --world. *)
+  let world =
+    match topology with
+    | Some topo -> Topology.natural_world topo
+    | None -> world
+  in
   let trace =
     match trace_kind with
     | "poisson" ->
@@ -1424,6 +1477,7 @@ let serve_run trace_kind rate burst requests seed prompt_mean decode_mean
   let config =
     {
       Serve.Server.machine = spec;
+      topology;
       world_size = world;
       head_dim;
       slo = { Serve.Slo.ttft_us = slo_ttft; tpot_us = slo_tpot };
@@ -1438,6 +1492,9 @@ let serve_run trace_kind rate burst requests seed prompt_mean decode_mean
   let telemetry =
     if perfetto_path <> None then Some (Obs.Telemetry.create ()) else None
   in
+  (match topology with
+  | Some topo -> Printf.printf "topology: %s\n" (Topology.describe topo)
+  | None -> ());
   let report = serve ?telemetry () in
   let json = Serve.Server.report_to_string report in
   Printf.printf
@@ -1633,7 +1690,7 @@ let serve_cmd =
       $ seed_arg $ prompt_mean_arg $ decode_mean_arg $ world_arg
       $ head_dim_arg $ slo_ttft_arg $ slo_tpot_arg $ queue_capacity_arg
       $ max_batch_arg $ kv_capacity_arg $ timeout_arg $ chaos_seed_arg
-      $ crash_ranks_arg $ out_arg $ perfetto_arg $ check_arg)
+      $ crash_ranks_arg $ topology_arg $ out_arg $ perfetto_arg $ check_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
@@ -2058,29 +2115,41 @@ let () =
   let doc = "TileLink reproduction: overlapped kernels on a simulated GPU cluster" in
   exit
     (try
-       Cmd.eval ~catch:false
-         (Cmd.group
-          (Cmd.info "tilelink" ~doc)
-          [
-            info_cmd;
-            simulate_cmd;
-            tune_cmd;
-            plan_cmd;
-            autotune_cmd;
-            ablation_cmd;
-            validate_cmd;
-            sanity_cmd;
-            attention_cmd;
-            emit_cmd;
-            report_cmd;
-            profile_cmd;
-            chaos_cmd;
-            serve_cmd;
-            verify_cmd;
-          ])
+       let code =
+         Cmd.eval ~catch:false
+           (Cmd.group
+            (Cmd.info "tilelink" ~doc)
+            [
+              info_cmd;
+              simulate_cmd;
+              tune_cmd;
+              plan_cmd;
+              autotune_cmd;
+              ablation_cmd;
+              validate_cmd;
+              sanity_cmd;
+              attention_cmd;
+              emit_cmd;
+              report_cmd;
+              profile_cmd;
+              chaos_cmd;
+              serve_cmd;
+              verify_cmd;
+            ])
+       in
+       (* A bad flag value (unknown --topology, --policy, ...) is plain
+          user error on every subcommand: cmdliner already printed the
+          one-line usage hint, so just normalize its CLI-error status
+          to the conventional 2. *)
+       if code = Cmd.Exit.cli_error then 2 else code
      with
     (* A structured flag-combination rejection is user error, not a
        crash: render backend/feature/reason/hint without a backtrace. *)
     | Runtime.Unsupported u ->
       Printf.eprintf "tilelink: %s\n" (Runtime.unsupported_to_string u);
-      3)
+      3
+    (* Out-of-range numeric flags surface as Invalid_argument/Failure
+       from the validation layers; one line, exit 2, no backtrace. *)
+    | Invalid_argument msg | Failure msg ->
+      Printf.eprintf "tilelink: %s\n" msg;
+      2)

@@ -1,0 +1,22 @@
+(** T3-style baseline: transparent tracking & triggering.
+
+    Hardware tracks producer-tile completions and triggers the
+    matching transfers, overlapping the collective with the unmodified
+    kernel at the cost of a small per-tile tracking overhead:
+
+      [t3 = launch + max(compute, comm) + tracking * tiles]
+
+    Mirrors {!Nonoverlap}'s API; together they bracket the
+    tile-centric runtime from below (ideal overlap, flat tracking tax)
+    and above (fully serialized).  All times in µs. *)
+
+open Tilelink_machine
+
+val tracking_us : Spec.t -> float
+(** Per-tile tracking cost (address-range match + trigger). *)
+
+val ag_gemm_time : Spec.t -> world_size:int -> m:int -> k:int -> n:int -> float
+val gemm_rs_time : Spec.t -> world_size:int -> m:int -> k:int -> n:int -> float
+
+val mlp_time :
+  Spec.t -> world_size:int -> shape:Tilelink_workloads.Shapes.mlp -> float

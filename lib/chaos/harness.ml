@@ -90,6 +90,11 @@ type trial = {
   remapped_tiles : int;
   replayed_tiles : int;
   total_tiles : int;
+  (* Topology bookkeeping; [None] for the default flat cases, and the
+     JSON export omits the fields then so flat summaries stay
+     byte-identical. *)
+  topology : string option;
+  cross_island_replays : int;
 }
 
 type summary = {
@@ -105,6 +110,8 @@ type summary = {
   s_failover_latencies : float list;
   s_overlap_efficiency : float;
   s_recovery_overhead_us : float;
+  s_topology : string option;
+  s_cross_island_replays : int;
 }
 
 (* One benchmark case: how to build/allocate/validate the workload,
@@ -121,10 +128,14 @@ type case = {
   baseline_us : float;
 }
 
-let mlp_case () =
+(* The default cases run world 4/4/2 on the flat test machine; a
+   topology run keeps the same per-rank tile volume and scales the
+   global shape with the topology's natural world size, so every rank
+   still owns m/world = 4 rows (mlp), 4 tokens (moe) or 8 query rows
+   (attention) regardless of how many islands the world spans. *)
+let mlp_case ?(world = 4) () =
   let machine = Calib.test_machine in
-  let world = 4 in
-  let shapes = { Mlp.m = 16; k = 4; n = 6; world_size = world } in
+  let shapes = { Mlp.m = 4 * world; k = 4; n = 6; world_size = world } in
   let comm_rows = 2 in
   let config =
     {
@@ -158,15 +169,14 @@ let mlp_case () =
         ~k:shapes.Mlp.k ~n:shapes.Mlp.n;
   }
 
-let moe_case () =
+let moe_case ?(world = 4) () =
   let machine = Calib.test_machine in
-  let world = 4 in
   let moe =
     {
-      Moe.tokens = 16;
+      Moe.tokens = 4 * world;
       hidden = 4;
-      intermediate = 8;
-      experts = 4;
+      intermediate = 2 * world;
+      experts = world;
       topk = 2;
       world_size = world;
     }
@@ -200,13 +210,12 @@ let moe_case () =
     baseline_us = Moe_baselines.cublas_part2 machine moe route;
   }
 
-let attention_case () =
+let attention_case ?(world = 2) () =
   let machine = Calib.test_machine in
-  let world = 2 in
   let spec =
     {
       Attention.batch_heads = 2;
-      seq = 16;
+      seq = 8 * world;
       head_dim = 4;
       world_size = world;
       causal = false;
@@ -231,10 +240,10 @@ let attention_case () =
     baseline_us = Attention_baselines.torch_time machine spec;
   }
 
-let case_of = function
-  | Mlp_ag_gemm -> mlp_case ()
-  | Moe_part2 -> moe_case ()
-  | Attention_ag -> attention_case ()
+let case_of ?world = function
+  | Mlp_ag_gemm -> mlp_case ?world ()
+  | Moe_part2 -> moe_case ?world ()
+  | Attention_ag -> attention_case ?world ()
 
 (* Scale the watchdog to the workload: suspicion after twice the ideal
    makespan (a delivered-but-slow signal can never be that late on
@@ -267,9 +276,14 @@ let stall_info_of case (s : Chaos.stall) =
   }
 
 let run_trial_impl ?(spec = Chaos.default_spec) ?(retry = true)
-    ?(policy = Chaos.Degrade) ?(crash_ranks = 0) ?watchdog ?(trace = false)
-    ~workload ~seed ~index () =
-  let case = case_of workload in
+    ?(policy = Chaos.Degrade) ?(crash_ranks = 0) ?watchdog ?topology
+    ?(trace = false) ~workload ~seed ~index () =
+  let case =
+    case_of ?world:(Option.map Topology.natural_world topology) workload
+  in
+  let layout =
+    Option.map (fun t -> Topology.layout t ~world_size:case.world) topology
+  in
   let trial_seed = Chaos.derive_seed ~seed ~index in
   (* Crash trials promise bit-identical numerics after replay, so the
      signal faults whose recovery path is a degraded (stale-read)
@@ -297,7 +311,7 @@ let run_trial_impl ?(spec = Chaos.default_spec) ?(retry = true)
      passes without faults. *)
   let ideal =
     let memory = case.alloc () in
-    let cluster = Cluster.create case.machine ~world_size:case.world in
+    let cluster = Cluster.create ?topology case.machine ~world_size:case.world in
     let r = Runtime.run ~data:true ~memory cluster (case.build ()) in
     r.Runtime.makespan
   in
@@ -307,7 +321,7 @@ let run_trial_impl ?(spec = Chaos.default_spec) ?(retry = true)
     | None -> scaled_watchdog ~ideal ~retry ~policy
   in
   let sched =
-    Chaos.plan ~spec ~seed:trial_seed ~world_size:case.world
+    Chaos.plan ~spec ?layout ~seed:trial_seed ~world_size:case.world
       ~horizon_us:(Float.max 1.0 (ideal *. 1.5))
       ~crash_ranks ()
   in
@@ -315,7 +329,8 @@ let run_trial_impl ?(spec = Chaos.default_spec) ?(retry = true)
   let telemetry = Obs.Telemetry.create () in
   let memory = case.alloc () in
   let cluster =
-    Cluster.create ~trace_enabled:trace case.machine ~world_size:case.world
+    Cluster.create ~trace_enabled:trace ?topology case.machine
+      ~world_size:case.world
   in
   let finish ~classification ~makespan ~fallback ~numerics_ok ~stall =
     let recov = control.Chaos.c_recovery in
@@ -351,6 +366,8 @@ let run_trial_impl ?(spec = Chaos.default_spec) ?(retry = true)
       remapped_tiles = recov.Chaos.remapped_tiles;
       replayed_tiles = recov.Chaos.replayed_tiles;
       total_tiles = recov.Chaos.total_tiles;
+      topology = Option.map Topology.name topology;
+      cross_island_replays = recov.Chaos.cross_island_replays;
     }
   in
   let trial =
@@ -375,7 +392,9 @@ let run_trial_impl ?(spec = Chaos.default_spec) ?(retry = true)
            the affected range) and charge the analytic baseline cost
            for the affected fraction of tiles. *)
         let memory2 = case.alloc () in
-        let cluster2 = Cluster.create case.machine ~world_size:case.world in
+        let cluster2 =
+          Cluster.create ?topology case.machine ~world_size:case.world
+        in
         ignore
           (Runtime.run ~data:true ~memory:memory2 cluster2 (case.build ()));
         let fallback =
@@ -407,19 +426,19 @@ let run_trial_impl ?(spec = Chaos.default_spec) ?(retry = true)
   in
   (trial, Cluster.trace cluster, telemetry)
 
-let run_trial ?spec ?retry ?policy ?crash_ranks ?watchdog ~workload ~seed
-    ~index () =
+let run_trial ?spec ?retry ?policy ?crash_ranks ?watchdog ?topology ~workload
+    ~seed ~index () =
   let trial, _, _ =
-    run_trial_impl ?spec ?retry ?policy ?crash_ranks ?watchdog ~workload ~seed
-      ~index ()
+    run_trial_impl ?spec ?retry ?policy ?crash_ranks ?watchdog ?topology
+      ~workload ~seed ~index ()
   in
   trial
 
-let profile_trial ?spec ?retry ?policy ?crash_ranks ?watchdog ~workload ~seed
-    ~index () =
+let profile_trial ?spec ?retry ?policy ?crash_ranks ?watchdog ?topology
+    ~workload ~seed ~index () =
   let trial, trace, telemetry =
-    run_trial_impl ?spec ?retry ?policy ?crash_ranks ?watchdog ~trace:true
-      ~workload ~seed ~index ()
+    run_trial_impl ?spec ?retry ?policy ?crash_ranks ?watchdog ?topology
+      ~trace:true ~workload ~seed ~index ()
   in
   (trial, trace, telemetry)
 
@@ -448,17 +467,21 @@ let summarize ~workload ~seed trials =
       Stats.mean (List.map (fun t -> t.overlap_efficiency) trials);
     s_recovery_overhead_us =
       List.fold_left (fun acc t -> acc +. t.recovery_overhead_us) 0.0 trials;
+    s_topology =
+      (match trials with [] -> None | t :: _ -> t.topology);
+    s_cross_island_replays =
+      List.fold_left (fun acc t -> acc + t.cross_island_replays) 0 trials;
   }
 
-let run_trials ?pool ?spec ?retry ?policy ?crash_ranks ?watchdog ~workload
-    ~seed ~trials () =
+let run_trials ?pool ?spec ?retry ?policy ?crash_ranks ?watchdog ?topology
+    ~workload ~seed ~trials () =
   if trials <= 0 then invalid_arg "Harness.run_trials: trials must be > 0";
   let indices = List.init trials Fun.id in
   let results =
     Pool.map pool
       (fun index ->
-        run_trial ?spec ?retry ?policy ?crash_ranks ?watchdog ~workload ~seed
-          ~index ())
+        run_trial ?spec ?retry ?policy ?crash_ranks ?watchdog ?topology
+          ~workload ~seed ~index ())
       indices
   in
   summarize ~workload ~seed (List.map Pool.get results)
@@ -544,7 +567,18 @@ let trial_to_json t =
          ("remapped_tiles", Json.Num (float_of_int t.remapped_tiles));
          ("replayed_tiles", Json.Num (float_of_int t.replayed_tiles));
          ("total_tiles", Json.Num (float_of_int t.total_tiles));
-       ]))
+       ])
+    @
+    (* Topology fields only exist on topology trials — flat output
+       (including flat crash trials) stays byte-identical. *)
+    (match t.topology with
+    | None -> []
+    | Some name ->
+      [
+        ("topology", Json.Str name);
+        ( "cross_island_replays",
+          Json.Num (float_of_int t.cross_island_replays) );
+      ]))
 
 let summary_to_json s =
   let percentiles latencies =
@@ -593,6 +627,14 @@ let summary_to_json s =
     @ (if crashy then
          [ ("failover_latency_us", percentiles s.s_failover_latencies) ]
        else [])
+    @ (match s.s_topology with
+      | None -> []
+      | Some name ->
+        [
+          ("topology", Json.Str name);
+          ( "cross_island_replays",
+            Json.Num (float_of_int s.s_cross_island_replays) );
+        ])
     @ [ ("trial_results", Json.List (List.map trial_to_json s.s_trials)) ])
 
 let summary_to_string s = Json.to_string ~indent:true (summary_to_json s)

@@ -66,6 +66,11 @@ type trial = {
   remapped_tiles : int;  (** unfinished tiles rerouted to survivors *)
   replayed_tiles : int;  (** tasks actually re-executed on survivors *)
   total_tiles : int;  (** ledger size (0 when no crashes were planned) *)
+  topology : string option;
+      (** topology name when the trial ran on a declarative topology;
+          JSON export omits the topology fields on flat trials *)
+  cross_island_replays : int;
+      (** replays placed outside the crashed rank's island (0 flat) *)
 }
 
 type summary = {
@@ -81,6 +86,8 @@ type summary = {
   s_failover_latencies : float list;
   s_overlap_efficiency : float;  (** mean over trials *)
   s_recovery_overhead_us : float;  (** summed over trials *)
+  s_topology : string option;
+  s_cross_island_replays : int;  (** summed over trials *)
 }
 
 val run_trial :
@@ -89,6 +96,7 @@ val run_trial :
   ?policy:Chaos.policy ->
   ?crash_ranks:int ->
   ?watchdog:Chaos.watchdog ->
+  ?topology:Tilelink_machine.Topology.t ->
   workload:workload ->
   seed:int ->
   index:int ->
@@ -103,7 +111,15 @@ val run_trial :
     crashes into the schedule.  When positive, the signal-fault
     probabilities of [spec] are zeroed (crash recovery must keep
     numerics bit-identical; degraded stale-read fallbacks would not)
-    and a [Degrade] policy is upgraded to {!Chaos.Failover}. *)
+    and a [Degrade] policy is upgraded to {!Chaos.Failover}.
+
+    [topology] runs the trial on that declarative topology: the world
+    becomes {!Tilelink_machine.Topology.natural_world} (the workload
+    shape scales with it, keeping per-rank tile volume constant), both
+    runs use the topology-compiled cluster, the fault schedule is
+    drawn against the topology's layout (correlated fault domains,
+    island-correlated forced crashes) and failover remaps
+    intra-island-first. *)
 
 val profile_trial :
   ?spec:Chaos.spec ->
@@ -111,6 +127,7 @@ val profile_trial :
   ?policy:Chaos.policy ->
   ?crash_ranks:int ->
   ?watchdog:Chaos.watchdog ->
+  ?topology:Tilelink_machine.Topology.t ->
   workload:workload ->
   seed:int ->
   index:int ->
@@ -127,6 +144,7 @@ val run_trials :
   ?policy:Chaos.policy ->
   ?crash_ranks:int ->
   ?watchdog:Chaos.watchdog ->
+  ?topology:Tilelink_machine.Topology.t ->
   workload:workload ->
   seed:int ->
   trials:int ->

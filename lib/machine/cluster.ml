@@ -32,6 +32,14 @@ type t = {
   ranks : rank array;
   nics : Tilelink_sim.Bandwidth.t array; (* one per node *)
   mutable disturbance : disturbance option;
+  (* Topology-derived base factors.  [base_compute] is a per-rank
+     duration multiplier baked in by a heterogeneous topology (all 1.0
+     otherwise); [base_nic_tax] is the co-tenant background-traffic
+     rate multiplier installed on NICs at creation.  Disturbances
+     compose multiplicatively on top of both. *)
+  topology : Topology.t option;
+  base_compute : float array;
+  base_nic_tax : (island:int -> now:float -> float) option;
   (* Rank liveness for crash-fault injection.  [alive] flips false when
      a rank crashes; [recovered] flips true once a failover coordinator
      has re-hosted the rank's symmetric memory on the survivors, at
@@ -41,26 +49,58 @@ type t = {
   recovered : bool array;
 }
 
-let create ?(trace_enabled = false) (spec : Spec.t) ~world_size =
+(* The co-tenant tax is the *base* throttle on a NIC: present with no
+   disturbance installed, and multiplied into the disturbance's
+   nic_rate when one is. *)
+let install_base_nic_throttles ~base_nic_tax nics =
+  match base_nic_tax with
+  | None -> ()
+  | Some tax ->
+    Array.iteri
+      (fun node nic ->
+        Tilelink_sim.Bandwidth.set_throttle nic (fun ~now ->
+            tax ~island:node ~now))
+      nics
+
+let create ?(trace_enabled = false) ?topology (spec : Spec.t) ~world_size =
   if world_size <= 0 then invalid_arg "Cluster.create: world_size";
   let engine = Tilelink_sim.Engine.create () in
   let trace = Tilelink_sim.Trace.create ~enabled:trace_enabled () in
-  let num_nodes = Shape_math.ceil_div world_size spec.gpus_per_node in
+  let layout =
+    Option.map (fun topo -> Topology.layout topo ~world_size) topology
+  in
+  let node_of id =
+    match layout with
+    | None -> id / spec.gpus_per_node
+    | Some l -> Topology.island_of l id
+  in
+  let num_nodes =
+    match layout with
+    | None -> Shape_math.ceil_div world_size spec.gpus_per_node
+    | Some l -> Topology.islands l
+  in
+  let ranks_per_node =
+    match layout with
+    | None -> spec.gpus_per_node
+    | Some l -> Topology.ranks_per_island l.Topology.l_topology
+  in
   let nics =
     Array.init num_nodes (fun node ->
         (* One stream: the NIC's aggregate rate is shared, so transfers
            serialize at full rate rather than multiplying throughput. *)
         Tilelink_sim.Bandwidth.create engine
           ~name:(Printf.sprintf "nic%d" node)
-          ~gbps:(spec.interconnect.nic_gbps *. float_of_int spec.gpus_per_node)
+          ~gbps:(spec.interconnect.nic_gbps *. float_of_int ranks_per_node)
           ~latency_us:spec.interconnect.nic_latency ~streams:1 ())
+  in
+  let link_scale id =
+    match layout with None -> 1.0 | Some l -> l.Topology.l_link_scale.(id)
   in
   let ranks =
     Array.init world_size (fun id ->
-        let node = id / spec.gpus_per_node in
         {
           id;
-          node;
+          node = node_of id;
           sms =
             Tilelink_sim.Resource.create engine
               ~name:(Printf.sprintf "sm%d" id)
@@ -71,13 +111,23 @@ let create ?(trace_enabled = false) (spec : Spec.t) ~world_size =
               ~capacity:spec.gpu.dma_channels;
           nvlink_egress =
             (* Egress bandwidth is shared across all outgoing copies of
-               a GPU: one stream serializes them at the full rate. *)
+               a GPU: one stream serializes them at the full rate.  A
+               heterogeneous topology narrows the attach statically. *)
             Tilelink_sim.Bandwidth.create engine
               ~name:(Printf.sprintf "nvlink%d" id)
-              ~gbps:spec.interconnect.nvlink_gbps
+              ~gbps:(spec.interconnect.nvlink_gbps *. link_scale id)
               ~latency_us:spec.interconnect.nvlink_latency ~streams:1 ();
         })
   in
+  let base_compute =
+    match layout with
+    | None -> Array.make world_size 1.0
+    | Some l -> Array.copy l.Topology.l_compute_scale
+  in
+  let base_nic_tax =
+    match layout with None -> None | Some l -> l.Topology.l_nic_tax
+  in
+  install_base_nic_throttles ~base_nic_tax nics;
   {
     spec;
     world_size;
@@ -86,12 +136,16 @@ let create ?(trace_enabled = false) (spec : Spec.t) ~world_size =
     ranks;
     nics;
     disturbance = None;
+    topology;
+    base_compute;
+    base_nic_tax;
     alive = Array.make world_size true;
     recovered = Array.make world_size false;
   }
 
 (* Installing a disturbance also wires the bandwidth throttles so the
-   link servers themselves sample the degradation at admission time. *)
+   link servers themselves sample the degradation at admission time.
+   The topology's base NIC tax composes multiplicatively. *)
 let set_disturbance t d =
   t.disturbance <- Some d;
   Array.iter
@@ -101,8 +155,13 @@ let set_disturbance t d =
     t.ranks;
   Array.iteri
     (fun node nic ->
+      let base =
+        match t.base_nic_tax with
+        | None -> fun ~now:_ -> 1.0
+        | Some tax -> fun ~now -> tax ~island:node ~now
+      in
       Tilelink_sim.Bandwidth.set_throttle nic (fun ~now ->
-          d.nic_rate ~node ~now))
+          d.nic_rate ~node ~now *. base ~now))
     t.nics
 
 let clear_disturbance t =
@@ -110,7 +169,9 @@ let clear_disturbance t =
   Array.iter
     (fun r -> Tilelink_sim.Bandwidth.clear_throttle r.nvlink_egress)
     t.ranks;
-  Array.iter Tilelink_sim.Bandwidth.clear_throttle t.nics
+  (* Restore the topology's base NIC tax rather than running nominal. *)
+  Array.iter Tilelink_sim.Bandwidth.clear_throttle t.nics;
+  install_base_nic_throttles ~base_nic_tax:t.base_nic_tax t.nics
 
 let check_rank_id t rank_id label =
   if rank_id < 0 || rank_id >= t.world_size then
@@ -155,13 +216,39 @@ let now t = Tilelink_sim.Engine.now t.engine
 
 let same_node t src dst = t.ranks.(src).node = t.ranks.(dst).node
 
-(* Compute-straggler multiplier for [rank_id] at the current instant;
-   1.0 when no disturbance is installed.  Sampled once per kernel issue
-   by the runtime. *)
+(* Compute-straggler multiplier for [rank_id] at the current instant:
+   the topology's static heterogeneity factor times any installed
+   disturbance.  1.0 on a homogeneous cluster with no disturbance.
+   Sampled once per kernel issue by the runtime. *)
 let compute_scale t ~rank_id =
+  let base = t.base_compute.(rank_id) in
   match t.disturbance with
-  | None -> 1.0
-  | Some d -> Float.max 1e-6 (d.compute ~rank:rank_id ~now:(Tilelink_sim.Engine.now t.engine))
+  | None -> base
+  | Some d ->
+    Float.max 1e-6
+      (base *. d.compute ~rank:rank_id ~now:(Tilelink_sim.Engine.now t.engine))
+
+let topology t = t.topology
+let island_of t ~rank_id = t.ranks.(rank_id).node
+
+(* One-line self-description for logs and --json artifacts: machine,
+   world, node count, interconnect — and the topology when one is
+   installed. *)
+let describe t =
+  let per_node =
+    match t.topology with
+    | None -> t.spec.gpus_per_node
+    | Some topo -> Topology.ranks_per_island topo
+  in
+  let base =
+    Printf.sprintf "%s, world %d: %d node%s x %d GPUs, NIC %.0f GB/s @%.1fus"
+      t.spec.gpu.gpu_name t.world_size (Array.length t.nics)
+      (if Array.length t.nics = 1 then "" else "s")
+      per_node t.spec.interconnect.nic_gbps t.spec.interconnect.nic_latency
+  in
+  match t.topology with
+  | None -> base
+  | Some topo -> base ^ " [" ^ Topology.describe topo ^ "]"
 
 let copy_stall_us t ~rank_id =
   match t.disturbance with

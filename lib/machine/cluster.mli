@@ -26,18 +26,40 @@ type disturbance = {
       (** Extra stall, in µs, charged before a copy issued at [now]. *)
 }
 
-val create : ?trace_enabled:bool -> Spec.t -> world_size:int -> t
+val create :
+  ?trace_enabled:bool -> ?topology:Topology.t -> Spec.t -> world_size:int -> t
+(** [?topology] compiles a declarative topology against [world_size]:
+    node membership follows the topology's islands (overriding
+    [Spec.gpus_per_node]), heterogeneous link scales narrow per-rank
+    NVLink rates statically, heterogeneous compute scales feed
+    {!compute_scale}, and a co-tenant NIC tax is installed as the base
+    throttle on every node NIC.  Omitting it preserves the historical
+    flat layout exactly. *)
 
 val set_disturbance : t -> disturbance -> unit
 (** Install a disturbance: wires {!Tilelink_sim.Bandwidth.set_throttle}
     onto every NVLink egress server and NIC, and exposes compute/copy
-    factors through {!compute_scale} and {!copy_stall_us}. *)
+    factors through {!compute_scale} and {!copy_stall_us}.  Composes
+    multiplicatively with the topology's base co-tenant NIC tax. *)
 
 val clear_disturbance : t -> unit
+(** Remove the disturbance; the topology's base NIC tax (if any) is
+    restored, not cleared. *)
 
 val compute_scale : t -> rank_id:int -> float
-(** Straggler multiplier for [rank_id] at the current sim instant
-    (1.0 without a disturbance). *)
+(** Straggler multiplier for [rank_id] at the current sim instant: the
+    topology's static heterogeneity factor times the disturbance's
+    (1.0 on a homogeneous cluster with no disturbance). *)
+
+val topology : t -> Topology.t option
+(** The topology this cluster was created with, if any. *)
+
+val island_of : t -> rank_id:int -> int
+(** The NVLink island (= node) hosting [rank_id]. *)
+
+val describe : t -> string
+(** One-line self-description: machine, world, node count, NIC rate
+    and latency, plus the topology when one is installed. *)
 
 val copy_stall_us : t -> rank_id:int -> float
 (** Copy-engine stall to charge before a copy issued now (0.0 without

@@ -47,12 +47,13 @@ let total_flops t = float_of_int t.gpu.num_sms *. t.gpu.flops_per_sm
 let pp ppf t =
   (* flops_per_sm is FLOP/µs; aggregate TFLOP/s = sms * per_sm * 1e6 / 1e12. *)
   Fmt.pf ppf
-    "%s: %d SMs, %.0f TFLOP/s sustained, HBM %.0f GB/s, NVLink %.0f GB/s, \
-     NIC %.0f GB/s"
+    "%s: %d SMs, %.0f TFLOP/s sustained, HBM %.0f GB/s, NVLink %.0f GB/s \
+     @%.1fus, NIC %.0f GB/s @%.1fus, %d GPUs/node"
     t.gpu.gpu_name t.gpu.num_sms
     (float_of_int t.gpu.num_sms *. t.gpu.flops_per_sm /. 1e6)
     (t.gpu.hbm_bw /. 1e3)
-    t.interconnect.nvlink_gbps t.interconnect.nic_gbps
+    t.interconnect.nvlink_gbps t.interconnect.nvlink_latency
+    t.interconnect.nic_gbps t.interconnect.nic_latency t.gpus_per_node
 
 (* Exact textual identity of the machine model, for cache keys: every
    field, floats in hex so distinct calibrations never collide. *)

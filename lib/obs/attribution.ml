@@ -37,7 +37,18 @@ type t = {
   total_comm : float;  (* sum of all Copy span durations, on-path or not *)
   hidden_comm : float;  (* total_comm - exposed_comm, clamped at 0 *)
   efficiency : float;  (* 1 - exposed/total, in [0, 1]; 1 when no comm *)
+  cross_island_recovery : float;
+      (* informational sub-metric of recovery: total duration of Replay
+         spans executed on a survivor *outside* the dead rank's NVLink
+         island (labels carry the runtime's "@x" marker).  Sums all
+         such spans, on-path or not, so it is not part of the conserved
+         bucket identity. *)
 }
+
+(* Cross-island replays are labelled "<label>@x" by the runtime. *)
+let is_cross_island_label label =
+  let n = String.length label in
+  n >= 2 && String.sub label (n - 2) 2 = "@x"
 
 let empty_buckets =
   {
@@ -61,6 +72,15 @@ let of_spans ~makespan spans =
       (fun acc (s : Span.span) ->
         match s.Span.kind with
         | Span.Copy -> acc +. (s.Span.t1 -. s.Span.t0)
+        | _ -> acc)
+      0.0 spans
+  in
+  let cross_island_recovery =
+    List.fold_left
+      (fun acc (s : Span.span) ->
+        match s.Span.kind with
+        | Span.Replay when is_cross_island_label s.Span.label ->
+          acc +. (s.Span.t1 -. s.Span.t0)
         | _ -> acc)
       0.0 spans
   in
@@ -99,7 +119,8 @@ let of_spans ~makespan spans =
     else 1.0
   in
   let hidden_comm = Float.max 0.0 (total_comm -. exposed) in
-  { buckets; makespan; total_comm; hidden_comm; efficiency }
+  { buckets; makespan; total_comm; hidden_comm; efficiency;
+    cross_island_recovery }
 
 let to_json t =
   Json.Obj
@@ -119,6 +140,7 @@ let to_json t =
       ("total_comm_us", Json.Num t.total_comm);
       ("hidden_comm_us", Json.Num t.hidden_comm);
       ("overlap_efficiency", Json.Num t.efficiency);
+      ("cross_island_recovery_us", Json.Num t.cross_island_recovery);
     ]
 
 let to_string t =
@@ -131,6 +153,8 @@ let to_string t =
       Printf.sprintf "  resource contention   %10.2f us" t.buckets.contention;
       Printf.sprintf "  straggler slack       %10.2f us" t.buckets.straggler;
       Printf.sprintf "  recovery overhead     %10.2f us" t.buckets.recovery;
+      Printf.sprintf "    of which cross-island replay %10.2f us (all spans)"
+        t.cross_island_recovery;
       Printf.sprintf "  (bucket sum           %10.2f us)" (bucket_sum t);
       Printf.sprintf "total communication     %10.2f us (hidden %.2f us)"
         t.total_comm t.hidden_comm;

@@ -22,6 +22,12 @@ type t = {
   total_comm : float;  (** every Copy span's duration, on-path or not *)
   hidden_comm : float;
   efficiency : float;
+  cross_island_recovery : float;
+      (** informational sub-metric of [recovery]: total duration of
+          Replay spans that executed on a survivor outside the dead
+          rank's NVLink island (the runtime's ["@x"] label marker);
+          sums all such spans, so it is not part of the conserved
+          bucket identity *)
 }
 
 val of_spans : makespan:float -> Span.span list -> t

@@ -13,6 +13,7 @@ type entry = {
 
 type t = {
   machine : Spec.t;
+  topology : Topology.t option;
   mutable world : int;
   head_dim : int;
   kv_capacity : int;
@@ -24,12 +25,13 @@ type t = {
 let tile = 8
 let config = { Attention.q_tile = tile; kv_tile = tile }
 
-let create ~machine ~world_size ~head_dim ~kv_capacity =
+let create ?topology ~machine ~world_size ~head_dim ~kv_capacity () =
   if world_size < 2 then invalid_arg "Batcher.create: world_size must be >= 2";
   if head_dim < 1 then invalid_arg "Batcher.create: head_dim must be >= 1";
   if kv_capacity < 1 then invalid_arg "Batcher.create: kv_capacity must be >= 1";
   {
     machine;
+    topology;
     world = world_size;
     head_dim;
     kv_capacity;
@@ -38,6 +40,7 @@ let create ~machine ~world_size ~head_dim ~kv_capacity =
   }
 
 let world t = t.world
+let topology t = t.topology
 let running t = List.rev t.running
 let batch_size t = List.length t.running
 let kv_used t = List.fold_left (fun acc e -> acc + e.e_kv) 0 t.running
@@ -88,7 +91,9 @@ let overlapped_cost t ~batch_q ~kv_q =
   | None ->
     let spec = spec_of t ~batch_q ~kv_q in
     let program = Attention.program ~config spec ~spec_gpu:t.machine in
-    let cluster = Cluster.create t.machine ~world_size:t.world in
+    let cluster =
+      Cluster.create ?topology:t.topology t.machine ~world_size:t.world
+    in
     let r = Runtime.run cluster program in
     Hashtbl.replace t.sim_cache key r.Runtime.makespan;
     r.Runtime.makespan
@@ -144,16 +149,22 @@ let crash_step t ~crash ~batch_q ~kv_q =
   let ideal = overlapped_cost t ~batch_q ~kv_q in
   let spec = spec_of t ~batch_q ~kv_q in
   let build () = Attention.program ~config spec ~spec_gpu:t.machine in
+  let layout =
+    Option.map (fun topo -> Topology.layout topo ~world_size:t.world) t.topology
+  in
   let schedule =
     Chaos.plan
       ~spec:(Chaos.no_machine_faults Chaos.default_spec)
+      ?layout
       ~horizon_us:(Float.max 1.0 (ideal *. 1.5))
       ~crash_ranks:crash.ck_ranks ~seed:crash.ck_seed ~world_size:t.world ()
   in
   let control =
     Chaos.control ~schedule ~watchdog:(scaled_watchdog ~ideal) ()
   in
-  let cluster = Cluster.create t.machine ~world_size:t.world in
+  let cluster =
+    Cluster.create ?topology:t.topology t.machine ~world_size:t.world
+  in
   let memory = Attention.alloc spec ~seed:crash.ck_seed in
   let result =
     Fun.protect

@@ -37,17 +37,24 @@ type entry = {
 type t
 
 val create :
+  ?topology:Tilelink_machine.Topology.t ->
   machine:Tilelink_machine.Spec.t ->
   world_size:int ->
   head_dim:int ->
   kv_capacity:int ->
+  unit ->
   t
 (** [kv_capacity] is the cluster-wide KV residency bound in tokens.
+    [topology] runs every step's tile program on the topology-compiled
+    cluster (island-bridged NICs, heterogeneous rank scales, co-tenant
+    NIC tax) and draws crash-step fault schedules against its layout.
     Raises [Invalid_argument] unless [world_size >= 2], [head_dim >= 1]
     and [kv_capacity >= 1]. *)
 
 val world : t -> int
 (** Current world size (shrinks after a crash step). *)
+
+val topology : t -> Tilelink_machine.Topology.t option
 
 val running : t -> entry list
 val batch_size : t -> int

@@ -7,6 +7,7 @@ type chaos = { ch_seed : int; ch_crash_ranks : int }
 
 type config = {
   machine : Tilelink_machine.Spec.t;
+  topology : Tilelink_machine.Topology.t option;
   world_size : int;
   head_dim : int;
   slo : Slo.spec;
@@ -40,6 +41,8 @@ type report = {
   r_ttft : Slo.digest;
   r_tpot : Slo.digest;
   r_world_end : int;
+  r_topology : string option;
+  r_nodes : int;  (** islands the serve started on; 1 when flat *)
 }
 
 (* Mutable serve-loop state: the counters the report is built from. *)
@@ -277,8 +280,9 @@ let run ?telemetry cfg trace =
       cfg;
       telemetry;
       batcher =
-        Batcher.create ~machine:cfg.machine ~world_size:cfg.world_size
-          ~head_dim:cfg.head_dim ~kv_capacity:cfg.kv_capacity;
+        Batcher.create ?topology:cfg.topology ~machine:cfg.machine
+          ~world_size:cfg.world_size ~head_dim:cfg.head_dim
+          ~kv_capacity:cfg.kv_capacity ();
       queue = Admission.create ~capacity:cfg.queue_capacity;
       degrade = Degrade.create ();
       pending = trace;
@@ -338,6 +342,13 @@ let run ?telemetry cfg trace =
     r_ttft = Slo.digest (List.rev st.ttft);
     r_tpot = Slo.digest (List.rev st.tpot);
     r_world_end = Batcher.world st.batcher;
+    r_topology = Option.map Tilelink_machine.Topology.name cfg.topology;
+    r_nodes =
+      (match cfg.topology with
+      | None -> 1
+      | Some topo ->
+        Tilelink_machine.Topology.islands
+          (Tilelink_machine.Topology.layout topo ~world_size:cfg.world_size));
   }
 
 let conservation_ok r =
@@ -350,7 +361,7 @@ let conservation_ok r =
 let report_to_json r =
   let num_i n = Json.Num (float_of_int n) in
   Json.Obj
-    [
+    ([
       ("offered", num_i r.r_offered);
       ("accepted", num_i r.r_accepted);
       ("completed", num_i r.r_completed);
@@ -378,7 +389,12 @@ let report_to_json r =
       ("ttft", Slo.digest_to_json r.r_ttft);
       ("tpot", Slo.digest_to_json r.r_tpot);
       ("world_end", num_i r.r_world_end);
-      ("conserved", Json.Bool (conservation_ok r));
     ]
+    @ (* Topology fields only exist on topology serves — flat reports
+         stay byte-identical. *)
+    (match r.r_topology with
+    | None -> []
+    | Some name -> [ ("topology", Json.Str name); ("nodes", num_i r.r_nodes) ])
+    @ [ ("conserved", Json.Bool (conservation_ok r)) ])
 
 let report_to_string r = Json.to_string ~indent:true (report_to_json r)

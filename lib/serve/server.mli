@@ -20,6 +20,9 @@ type chaos = { ch_seed : int; ch_crash_ranks : int }
 
 type config = {
   machine : Tilelink_machine.Spec.t;
+  topology : Tilelink_machine.Topology.t option;
+      (** serve on a declarative topology: island-bridged NICs,
+          heterogeneous rank scales, correlated crash-step faults *)
   world_size : int;
   head_dim : int;
   slo : Slo.spec;
@@ -53,6 +56,10 @@ type report = {
   r_ttft : Slo.digest;  (** completed requests only *)
   r_tpot : Slo.digest;  (** completed requests only *)
   r_world_end : int;  (** surviving ranks *)
+  r_topology : string option;
+      (** topology name; JSON export omits the topology fields when
+          absent so flat reports stay byte-identical *)
+  r_nodes : int;  (** islands the serve started on; 1 when flat *)
 }
 
 val run :

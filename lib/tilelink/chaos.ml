@@ -99,6 +99,15 @@ type spec = {
   reissue_drop_prob : float;
   crash_prob : float;
   crash_transient_prob : float;
+  (* Correlated fault domains (topology runs only; all draws come from
+     dedicated per-island sub-streams, so flat schedules planned before
+     these fields existed replay byte-identically). *)
+  node_crash_prob : float;  (* island dies wholesale: every rank at once *)
+  nic_outage_prob : float;  (* severe rate window on an island's NIC *)
+  nic_outage_factor : float;
+  island_degrade_prob : float;  (* island-wide compute degrade *)
+  island_degrade_factor : float;  (* duration multiplier, >= 1 *)
+  partition_prob : float;  (* island NIC cut off for a window *)
 }
 
 let default_spec =
@@ -124,6 +133,25 @@ let default_spec =
        byte-identically. *)
     crash_prob = 0.0;
     crash_transient_prob = 0.0;
+    (* Correlated domains are opt-in, like crashes. *)
+    node_crash_prob = 0.0;
+    nic_outage_prob = 0.0;
+    nic_outage_factor = 0.02;
+    island_degrade_prob = 0.0;
+    island_degrade_factor = 1.5;
+    partition_prob = 0.0;
+  }
+
+(* Moderate correlated-fault intensities for topology chaos runs:
+   NIC outages and island-wide compute degrades, no wholesale node
+   crashes (those are forced via [crash_ranks] or pinned in tests). *)
+let correlated_faults spec =
+  {
+    spec with
+    nic_outage_prob = 0.3;
+    nic_outage_factor = 0.02;
+    island_degrade_prob = 0.25;
+    island_degrade_factor = 1.5;
   }
 
 let no_machine_faults spec =
@@ -134,6 +162,10 @@ let no_machine_faults spec =
     straggler_prob = 0.0;
     copy_stall_prob = 0.0;
     crash_prob = 0.0;
+    node_crash_prob = 0.0;
+    nic_outage_prob = 0.0;
+    island_degrade_prob = 0.0;
+    partition_prob = 0.0;
   }
 
 let signal_faults_only ~drop_prob =
@@ -157,9 +189,16 @@ type schedule = {
   seed : int;
   spec : spec;
   horizon_us : float;
+  (* The topology layout the schedule was drawn against, if any:
+     correlated (per-island) faults need to know island membership. *)
+  layout : Tilelink_machine.Topology.layout option;
   link_windows : window list array;
   copy_windows : window list array;
   straggler : float array;
+  (* Per-island NIC fault windows: severe-rate outages and full
+     partitions.  Empty (zero-length arrays) on flat schedules. *)
+  nic_windows : window list array;
+  nic_partitions : window list array;
   mutable crash_faults : (int * crash) list;
   (* Occurrence counter per signal key: the n-th notify on a key gets a
      decision hashed from (seed, key, n). *)
@@ -171,20 +210,34 @@ type schedule = {
 
 let note sched kind subject = sched.injected <- (kind, subject) :: sched.injected
 
-let plan ?(spec = default_spec) ?(horizon_us = 2000.0) ?(crash_ranks = 0) ~seed
-    ~world_size () =
+(* Sub-stream index for island-level draws: a prime far above any
+   rank-stream index (rank * 7919, world <= 64) and distinct from the
+   forced-crash stream (104729), so correlated draws can never collide
+   with — or perturb — the existing streams. *)
+let island_stream_index island = 15485863 + island
+
+let plan ?(spec = default_spec) ?(horizon_us = 2000.0) ?(crash_ranks = 0)
+    ?layout ~seed ~world_size () =
   if world_size <= 0 then invalid_arg "Chaos.plan: world_size";
   if horizon_us <= 0.0 then invalid_arg "Chaos.plan: horizon_us";
   if crash_ranks < 0 || crash_ranks > world_size then
     invalid_arg "Chaos.plan: crash_ranks out of range";
+  let num_islands =
+    match layout with
+    | None -> 0
+    | Some l -> Tilelink_machine.Topology.islands l
+  in
   let sched =
     {
       seed;
       spec;
       horizon_us;
+      layout;
       link_windows = Array.make world_size [];
       copy_windows = Array.make world_size [];
       straggler = Array.make world_size 1.0;
+      nic_windows = Array.make num_islands [];
+      nic_partitions = Array.make num_islands [];
       crash_faults = [];
       counts = Hashtbl.create 64;
       reissues = 0;
@@ -233,29 +286,121 @@ let plan ?(spec = default_spec) ?(horizon_us = 2000.0) ?(crash_ranks = 0) ~seed
       note sched "rank_crash" subj
     end
   done;
+  (* Correlated fault domains: one dedicated sub-stream per island, so
+     these draws neither perturb the per-rank streams above nor the
+     forced-crash stream below.  Only meaningful with a layout. *)
+  (match layout with
+   | None -> ()
+   | Some l ->
+     let ranks_of_island isl =
+       List.filter
+         (fun r -> l.Tilelink_machine.Topology.l_island_of_rank.(r) = isl)
+         (List.init world_size Fun.id)
+     in
+     for island = 0 to num_islands - 1 do
+       let rng =
+         Prng.create ~seed:(derive_seed ~seed ~index:(island_stream_index island))
+       in
+       let mk_window factor =
+         let a = Prng.range rng 0.0 horizon_us in
+         let b = Prng.range rng a horizon_us in
+         {
+           w_from = a;
+           w_until = Float.max b (a +. (0.05 *. horizon_us));
+           w_factor = factor;
+         }
+       in
+       let subj = Printf.sprintf "island%d" island in
+       if spec.nic_outage_prob > 0.0 && Prng.float rng < spec.nic_outage_prob
+       then begin
+         sched.nic_windows.(island) <-
+           mk_window spec.nic_outage_factor :: sched.nic_windows.(island);
+         note sched "nic_outage" subj
+       end;
+       if
+         spec.island_degrade_prob > 0.0
+         && Prng.float rng < spec.island_degrade_prob
+       then begin
+         (* Correlated compute degrade: every rank of the island slows
+            down together, composing with any per-rank straggler. *)
+         List.iter
+           (fun r ->
+             sched.straggler.(r) <-
+               sched.straggler.(r) *. spec.island_degrade_factor)
+           (ranks_of_island island);
+         note sched "island_degrade" subj
+       end;
+       if spec.partition_prob > 0.0 && Prng.float rng < spec.partition_prob
+       then begin
+         sched.nic_partitions.(island) <-
+           mk_window 0.0 :: sched.nic_partitions.(island);
+         note sched "nic_partition" subj
+       end;
+       if spec.node_crash_prob > 0.0 && Prng.float rng < spec.node_crash_prob
+       then begin
+         (* Node crash: the whole island dies at one instant. *)
+         let at = Prng.range rng (0.1 *. horizon_us) (0.6 *. horizon_us) in
+         List.iter
+           (fun r ->
+             if not (List.mem_assoc r sched.crash_faults) then
+               sched.crash_faults <-
+                 (r, { cr_at = at; cr_until = None }) :: sched.crash_faults)
+           (ranks_of_island island);
+         note sched "node_crash" subj
+       end
+     done);
   (* Forced deterministic crashes for [crash_ranks]: victims and crash
      instants are drawn from a dedicated sub-stream so they neither
-     perturb the per-rank draws above nor depend on them. *)
+     perturb the per-rank draws above nor depend on them.  On a
+     topology run the forced crashes are *correlated*: victims fill
+     whole islands (drawn without replacement), every rank of an
+     island dying at the same instant — [--crash-ranks 8] on
+     islands2x8 is exactly "one island dies". *)
   if crash_ranks > 0 then begin
     let crng = Prng.create ~seed:(derive_seed ~seed ~index:104729) in
     let crashed = Hashtbl.create 4 in
     List.iter (fun (r, _) -> Hashtbl.replace crashed r ()) sched.crash_faults;
+    let draw_mod m =
+      Int64.to_int
+        (Int64.rem (Int64.logand (Prng.next crng) Int64.max_int) (Int64.of_int m))
+    in
     let forced = ref 0 in
-    while !forced < crash_ranks && Hashtbl.length crashed < world_size do
-      let r =
-        Int64.to_int
-          (Int64.rem
-             (Int64.logand (Prng.next crng) Int64.max_int)
-             (Int64.of_int world_size))
-      in
-      if not (Hashtbl.mem crashed r) then begin
-        Hashtbl.replace crashed r ();
-        let at = Prng.range crng (0.15 *. horizon_us) (0.45 *. horizon_us) in
-        sched.crash_faults <- (r, { cr_at = at; cr_until = None }) :: sched.crash_faults;
-        note sched "rank_crash" (Printf.sprintf "rank%d" r);
-        incr forced
-      end
-    done
+    match layout with
+    | Some l when num_islands > 1 ->
+      let visited = Hashtbl.create 4 in
+      while !forced < crash_ranks && Hashtbl.length crashed < world_size do
+        let island = draw_mod num_islands in
+        if not (Hashtbl.mem visited island) then begin
+          Hashtbl.replace visited island ();
+          let at = Prng.range crng (0.15 *. horizon_us) (0.45 *. horizon_us) in
+          List.iter
+            (fun r ->
+              if
+                !forced < crash_ranks
+                && l.Tilelink_machine.Topology.l_island_of_rank.(r) = island
+                && not (Hashtbl.mem crashed r)
+              then begin
+                Hashtbl.replace crashed r ();
+                sched.crash_faults <-
+                  (r, { cr_at = at; cr_until = None }) :: sched.crash_faults;
+                note sched "rank_crash" (Printf.sprintf "rank%d" r);
+                incr forced
+              end)
+            (List.init world_size Fun.id)
+        end
+      done
+    | _ ->
+      while !forced < crash_ranks && Hashtbl.length crashed < world_size do
+        let r = draw_mod world_size in
+        if not (Hashtbl.mem crashed r) then begin
+          Hashtbl.replace crashed r ();
+          let at = Prng.range crng (0.15 *. horizon_us) (0.45 *. horizon_us) in
+          sched.crash_faults <-
+            (r, { cr_at = at; cr_until = None }) :: sched.crash_faults;
+          note sched "rank_crash" (Printf.sprintf "rank%d" r);
+          incr forced
+        end
+      done
   end;
   sched
 
@@ -319,18 +464,53 @@ let window_factor windows ~now =
       else acc)
     1.0 windows
 
+(* Whether [node]'s NIC sits inside a planned partition window at
+   [now]: the island is cut off from the bridged fabric.  Transfers
+   admitted inside the window crawl (the Bandwidth clamp keeps the
+   rate nonzero) and the failover coordinator uses this to triage an
+   unbridgeable cut as structural. *)
+let partitioned sched ~node ~now =
+  node >= 0
+  && node < Array.length sched.nic_partitions
+  && List.exists
+       (fun w -> now >= w.w_from && now < w.w_until)
+       sched.nic_partitions.(node)
+
+(* Pin explicit partition windows per node, like [with_crashes] pins
+   crash instants — the seeded draws cannot. *)
+let with_nic_partitions sched windows =
+  Array.fill sched.nic_partitions 0 (Array.length sched.nic_partitions) [];
+  List.iter
+    (fun (node, w) ->
+      if node < 0 || node >= Array.length sched.nic_partitions then
+        invalid_arg "Chaos.with_nic_partitions: node out of range";
+      sched.nic_partitions.(node) <- w :: sched.nic_partitions.(node))
+    windows;
+  sched
+
+let schedule_layout sched = sched.layout
+
 let disturbance sched =
   let link rank =
     if rank >= 0 && rank < Array.length sched.link_windows then
       sched.link_windows.(rank)
     else []
   in
+  let nic node =
+    if node >= 0 && node < Array.length sched.nic_windows then
+      sched.nic_windows.(node)
+    else []
+  in
   {
     Cluster.link_rate = (fun ~rank ~now -> window_factor (link rank) ~now);
-    (* NICs aggregate many ranks; per-rank link windows already model
-       the interesting degradations for the single-node test machines,
-       so NICs stay nominal. *)
-    nic_rate = (fun ~node:_ ~now:_ -> 1.0);
+    (* Per-island NIC outage windows and partitions; nominal on flat
+       schedules (empty arrays), exactly as before.  A partition is a
+       zero factor — the Bandwidth clamp turns it into a crawl, and
+       the watchdog/coordinator decide what counts as stalled. *)
+    nic_rate =
+      (fun ~node ~now ->
+        let w = window_factor (nic node) ~now in
+        if partitioned sched ~node ~now then 0.0 else w);
     compute =
       (fun ~rank ~now:_ ->
         if rank >= 0 && rank < Array.length sched.straggler then
@@ -448,6 +628,9 @@ type recovery = {
   mutable remapped_tiles : int;
   mutable replayed_tiles : int;
   mutable total_tiles : int;
+  mutable cross_island_replays : int;
+      (* replays the coordinator had to place on a survivor outside
+         the crashed rank's NVLink island (0 on flat topologies) *)
 }
 
 let fresh_recovery () =
@@ -460,6 +643,7 @@ let fresh_recovery () =
     remapped_tiles = 0;
     replayed_tiles = 0;
     total_tiles = 0;
+    cross_island_replays = 0;
   }
 
 type control = {

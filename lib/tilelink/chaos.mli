@@ -51,9 +51,28 @@ type spec = {
           consumes no RNG, keeping pre-crash schedules byte-identical *)
   crash_transient_prob : float;
       (** given a crash, probability it is transient (rank restarts) *)
+  node_crash_prob : float;
+      (** per-island probability the whole island dies at one instant;
+          drawn from dedicated per-island sub-streams (topology runs
+          only), so flat schedules replay byte-identically *)
+  nic_outage_prob : float;
+      (** per-island probability of a severe NIC rate window *)
+  nic_outage_factor : float;
+  island_degrade_prob : float;
+      (** per-island probability of a correlated compute degrade across
+          every rank of the island *)
+  island_degrade_factor : float;  (** duration multiplier, >= 1 *)
+  partition_prob : float;
+      (** per-island probability of a NIC partition window: the island
+          is cut off from the bridged fabric for the window *)
 }
 
 val default_spec : spec
+
+val correlated_faults : spec -> spec
+(** Enable moderate correlated fault domains (NIC outages, island-wide
+    compute degrades) for topology chaos runs; node crashes stay
+    opt-in via [crash_ranks] or explicit probabilities. *)
 
 val no_machine_faults : spec -> spec
 (** Zero out the machine-level windows/stragglers, keeping signal
@@ -67,12 +86,16 @@ val signal_faults_only : drop_prob:float -> spec
     replay). *)
 type crash = { cr_at : float; cr_until : float option }
 
+(** A fault window: [w_factor] applies while [w_from <= now < w_until]. *)
+type window = { w_from : float; w_until : float; w_factor : float }
+
 type schedule
 
 val plan :
   ?spec:spec ->
   ?horizon_us:float ->
   ?crash_ranks:int ->
+  ?layout:Tilelink_machine.Topology.layout ->
   seed:int ->
   world_size:int ->
   unit ->
@@ -81,7 +104,22 @@ val plan :
     fault windows (default 2000).  [crash_ranks] (default 0) forces
     that many deterministic, seed-chosen permanent crashes mid-horizon
     on top of any probabilistic crash draws; it may equal [world_size]
-    (no survivors) — triaging that is the runtime's job. *)
+    (no survivors) — triaging that is the runtime's job.  [layout]
+    enables correlated fault domains (per-island sub-streams: node
+    crashes, NIC outages/partitions, island degrades) and makes the
+    forced crashes island-correlated: victims fill whole islands, every
+    rank of an island dying at the same instant. *)
+
+val partitioned : schedule -> node:int -> now:float -> bool
+(** Whether [node]'s NIC sits inside a planned partition window at
+    [now]. *)
+
+val with_nic_partitions : schedule -> (int * window) list -> schedule
+(** Replace the planned NIC partition windows with explicit
+    (node, window) pairs — for tests that must pin exact cuts. *)
+
+val schedule_layout : schedule -> Tilelink_machine.Topology.layout option
+(** The layout the schedule was drawn against, if any. *)
 
 val crashes : schedule -> (int * crash) list
 (** Planned crash faults ordered by crash instant (then rank). *)
@@ -171,6 +209,9 @@ type recovery = {
   mutable remapped_tiles : int;  (** unfinished tiles rerouted to survivors *)
   mutable replayed_tiles : int;  (** tasks actually re-executed *)
   mutable total_tiles : int;  (** ledger size: all tracked tasks *)
+  mutable cross_island_replays : int;
+      (** replays placed on a survivor outside the crashed rank's
+          NVLink island (0 on flat topologies) *)
 }
 
 val fresh_recovery : unit -> recovery

@@ -270,17 +270,22 @@ let bump_notify_amount (program : Program.t) ~rank ~nth =
    moves to survivor [survivors.(c mod n)] at fresh local slot
    [cpr + c / n]; live targets carry rank-local coordinates and are
    unchanged.  The result's [pc_channels] grows to the remapped stride
-   so the rerouted slots exist.  This is the *protocol-level* remap the
-   analyzer re-validates before replay; peer/host channels are
-   point-to-point and not part of f_C, so they stay as they are. *)
+   so the rerouted slots exist.  The survivor list's *order* is
+   preserved: a topology-aware coordinator puts intra-island survivors
+   first so the dead rank's channels land on NVLink-local peers, and
+   the runtime's channel-alias registration must consume the identical
+   ordering.  This is the *protocol-level* remap the analyzer
+   re-validates before replay; peer/host channels are point-to-point
+   and not part of f_C, so they stay as they are. *)
 let remap_program (program : Program.t) ~dead ~survivors =
   let world = Program.world_size program in
   if dead < 0 || dead >= world then
     invalid_arg "Fault.remap_program: dead rank out of range";
   if survivors = [] then invalid_arg "Fault.remap_program: no survivors";
-  let sv = Array.of_list (List.sort_uniq compare survivors) in
-  if Array.length sv <> List.length survivors then
-    invalid_arg "Fault.remap_program: duplicate survivors";
+  let sv = Array.of_list survivors in
+  if
+    List.length (List.sort_uniq compare survivors) <> List.length survivors
+  then invalid_arg "Fault.remap_program: duplicate survivors";
   Array.iter
     (fun s ->
       if s < 0 || s >= world then

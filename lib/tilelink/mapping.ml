@@ -258,9 +258,13 @@ let remap_rank t ~dead ~survivors =
   if dead < 0 || dead >= r then
     invalid_arg "Mapping.remap_rank: dead rank out of range";
   if survivors = [] then invalid_arg "Mapping.remap_rank: no survivors";
-  let sv = Array.of_list (List.sort_uniq compare survivors) in
-  if Array.length sv <> List.length survivors then
-    invalid_arg "Mapping.remap_rank: duplicate survivors";
+  (* Order is preserved (not sorted): a topology-aware caller lists
+     intra-island survivors first, and [Fault.remap_program] must agree
+     slot for slot. *)
+  let sv = Array.of_list survivors in
+  if
+    List.length (List.sort_uniq compare survivors) <> List.length survivors
+  then invalid_arg "Mapping.remap_rank: duplicate survivors";
   Array.iter
     (fun s ->
       if s < 0 || s >= r then

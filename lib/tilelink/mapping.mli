@@ -64,11 +64,12 @@ val remap_rank : t -> dead:int -> survivors:int list -> t
     owned round-robin over [survivors] (dead local channel [c] moves to
     survivor [survivors.(c mod n)] at fresh local slot
     [cpr + c / n]); live ranks keep their local indices under the grown
-    stride [cpr + ceil(cpr / n)].  Per-channel completion thresholds
-    (multiplicity included) transfer unchanged.  The result is always
-    dynamic and keeps the original rank count — the dead rank simply
-    owns no tiles.  Raises [Invalid_argument] on an empty, duplicated
-    or invalid survivor list. *)
+    stride [cpr + ceil(cpr / n)].  The survivor list's order is
+    preserved (intra-island-first callers rely on it); per-channel
+    completion thresholds (multiplicity included) transfer unchanged.
+    The result is always dynamic and keeps the original rank count —
+    the dead rank simply owns no tiles.  Raises [Invalid_argument] on
+    an empty, duplicated or invalid survivor list. *)
 
 val remap_channels_per_rank : channels_per_rank:int -> survivors:int -> int
 (** The channels-per-rank stride of a remapped protocol — what

@@ -69,10 +69,19 @@ let exec_notify channels ~rank:_ ~worker (target : Instr.signal_target)
 module Obs = Tilelink_obs
 
 (* Replayed tasks run under "<label>+replay"; their spans are recorded
-   as [Replay] so attribution charges them to recovery, not compute. *)
+   as [Replay] so attribution charges them to recovery, not compute.
+   A replay executed on a survivor *outside* the dead rank's NVLink
+   island runs under "<label>+replay@x" — same Replay kind, but the
+   "@x" marker flows into the span labels so the causal profiler can
+   surface cross-island replay as its own recovery sub-bucket. *)
+let has_suffix label suf =
+  let n = String.length label and m = String.length suf in
+  n >= m && String.sub label (n - m) m = suf
+
 let is_replay_label label =
-  let n = String.length label in
-  n >= 7 && String.sub label (n - 7) 7 = "+replay"
+  has_suffix label "+replay" || has_suffix label "+replay@x"
+
+let is_cross_replay_label label = has_suffix label "+replay@x"
 
 (* ------------------------------------------------------------------ *)
 (* Tile-completion ledger                                              *)
@@ -185,7 +194,8 @@ let exec_instr cluster channels memory ~telemetry ~data ~rank ~ctx ~lane
       Obs.Span.record_task
         (Obs.Telemetry.spans tele)
         ~kind:(if is_replay_label label then Obs.Span.Replay else Obs.Span.Compute)
-        ~label:clabel ~rank:ctx.ec_exec_rank ~worker ~t0 ~t1:(now ())
+        ~label:(if is_cross_replay_label label then clabel ^ "@x" else clabel)
+        ~rank:ctx.ec_exec_rank ~worker ~t0 ~t1:(now ())
     end;
     if data then Option.iter (fun act -> act memory ~rank) action
   | Instr.Copy { label = clabel; src; dst; bytes; action } ->
@@ -241,7 +251,8 @@ let exec_instr cluster channels memory ~telemetry ~data ~rank ~ctx ~lane
       Obs.Span.record_task
         (Obs.Telemetry.spans tele)
         ~kind:(if is_replay_label label then Obs.Span.Replay else Obs.Span.Copy)
-        ~label:clabel ~rank:ctx.ec_exec_rank ~worker ~t0 ~t1:(now ())
+        ~label:(if is_cross_replay_label label then clabel ^ "@x" else clabel)
+        ~rank:ctx.ec_exec_rank ~worker ~t0 ~t1:(now ())
     end;
     if data then begin
       match action with
@@ -615,6 +626,10 @@ let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) ?rebuild
         (Obs.Telemetry.metrics (Option.get telemetry))
         name v
   in
+  let metric_inc name =
+    if Obs.Telemetry.active telemetry then
+      Obs.Metrics.inc (Obs.Telemetry.metrics (Option.get telemetry)) name
+  in
   (* Crash faults, ledger and failover arming. *)
   let crashes =
     match chaos with
@@ -747,13 +762,74 @@ let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) ?rebuild
       (fun r -> not (Hashtbl.mem crashed_once r))
       (List.init (Program.world_size program) Fun.id)
   in
+  let island_of r = Cluster.island_of cluster ~rank_id:r in
+  (* Topology-aware survivor ordering: intra-island survivors first
+     (rank ascending), then cross-island (rank ascending), so the dead
+     rank's channels and replays land on NVLink-local peers whenever
+     any exist.  On a single-island cluster every survivor is
+     intra-island and the order degenerates to plain ascending —
+     byte-identical to the historical behaviour. *)
+  let ordered_survivors ~relative_to =
+    let home = island_of relative_to in
+    let intra, cross =
+      List.partition (fun r -> island_of r = home) (survivors_now ())
+    in
+    intra @ cross
+  in
+  let island_partitioned isl ~now =
+    match chaos with
+    | Some { Chaos.c_schedule = Some sched; _ } ->
+      Chaos.partitioned sched ~node:isl ~now
+    | _ -> false
+  in
   let handle_crash (dead, t_crash) =
     let now = Cluster.now cluster in
     let lost = lost_entries ledger ~dead in
-    let survivors = survivors_now () in
+    let survivors = ordered_survivors ~relative_to:dead in
     if survivors = [] then begin
       let stall =
         no_survivor_stall ~dead ~lost ~t_crash ~now channels program
+      in
+      (match recovery with
+      | Some r -> r.Chaos.stalls <- r.Chaos.stalls @ [ stall ]
+      | None -> ());
+      journal_ev
+        (Obs.Journal.Stall_detected
+           {
+             key = stall.Chaos.stall_key;
+             rank = stall.Chaos.stall_rank;
+             threshold = stall.Chaos.stall_threshold;
+             value = stall.Chaos.stall_value;
+           });
+      raise (Chaos.Stall stall)
+    end;
+    (* Unbridgeable partition: survivors exist, but every one sits
+       across a NIC cut from the dead rank's island — re-hosting the
+       dead shard would have to cross the partitioned fabric.  Triage
+       as a *structural* stall naming the cut, not a hang. *)
+    let home = island_of dead in
+    if
+      (not (List.exists (fun r -> island_of r = home) survivors))
+      && island_partitioned home ~now
+    then begin
+      let stall =
+        {
+          Chaos.stall_key = Printf.sprintf "nic[%d]" home;
+          stall_kind = "partition";
+          stall_owner = dead;
+          stall_channel = None;
+          stall_rank = dead;
+          stall_threshold = 0;
+          stall_value = 0;
+          stall_intended = 0;
+          stall_since = t_crash;
+          stall_at = now;
+          stall_waiters =
+            List.map
+              (fun (pw : Channel.pending_wait) ->
+                (pw.Channel.pw_key, pw.Channel.pw_rank, pw.Channel.pw_threshold))
+              (Channel.pending_waits channels);
+        }
       in
       (match recovery with
       | Some r -> r.Chaos.stalls <- r.Chaos.stalls @ [ stall ]
@@ -807,9 +883,7 @@ let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) ?rebuild
     in
     match (pending, survivors_now ()) with
     | [], _ | _, [] -> ()
-    | pending, survivors ->
-      let n = List.length survivors in
-      let sv = Array.of_list survivors in
+    | pending, _ ->
       (* Replay from a *fresh* build of the program when the caller
          provides one: task closures can hold accumulator state
          (flash-attention online softmax), so re-running a partially
@@ -842,6 +916,12 @@ let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) ?rebuild
       let next_exec = ref 0 in
       List.iter
         (fun (((owner_rank : int), _role), entries) ->
+          (* Executing survivors for this group, intra-island-first
+             relative to the entries' owner: NVLink-local survivors
+             absorb the replays before any cross-island peer does. *)
+          let sv = Array.of_list (ordered_survivors ~relative_to:owner_rank) in
+          let n = Array.length sv in
+          let owner_island = island_of owner_rank in
           Process.spawn engine (fun () ->
               (* Each replay group is one sequential stream: its own
                  causal worker keeps replayed spans chained in order. *)
@@ -867,6 +947,15 @@ let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) ?rebuild
                     (* Round-robin the executing survivor per tile. *)
                     let exec_rank = sv.(!next_exec mod n) in
                     incr next_exec;
+                    let cross_island = island_of exec_rank <> owner_island in
+                    if cross_island then begin
+                      (match recovery with
+                      | Some r ->
+                        r.Chaos.cross_island_replays <-
+                          r.Chaos.cross_island_replays + 1
+                      | None -> ());
+                      metric_inc "recovery.cross_island_replays"
+                    end;
                     let skip = ref e.le_notified in
                     let ctx =
                       {
@@ -889,7 +978,9 @@ let run ?telemetry ?(data = false) ?memory ?chaos ?(analyze = false) ?rebuild
                       exec_instr cluster channels memory ~telemetry ~data
                         ~rank:owner_rank ~ctx ~lane:Trace.Comm_sm ~worker_sms:1
                         ~comm_active ~pending_loads ~worker
-                        ~label:(task.Program.label ^ "+replay")
+                        ~label:
+                          (task.Program.label
+                          ^ if cross_island then "+replay@x" else "+replay")
                     in
                     match
                       List.iter

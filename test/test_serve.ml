@@ -183,9 +183,10 @@ let test_degrade_ladder () =
 (* test_machine steps cost ~1.3 ms, so the default SLOs here are loose
    enough that a light load completes everything; the overload cases
    tighten them explicitly. *)
-let config ?chaos ?(queue_capacity = 8) ?(timeout_us = 100_000.) () =
+let config ?chaos ?topology ?(queue_capacity = 8) ?(timeout_us = 100_000.) () =
   {
     Server.machine;
+    topology;
     world_size = 4;
     head_dim = 32;
     slo = { Slo.ttft_us = 20_000.; tpot_us = 5_000. };
